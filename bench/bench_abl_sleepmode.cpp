@@ -1,0 +1,77 @@
+// Ablation A3: vLLM sleep-mode optimization (§4.2).
+//
+// With sleep mode, the preemption path discards the paged-KV arena before
+// checkpointing, so only the weights round-trip through host RAM; without
+// it the full ~72 GiB resident set is dirty. This drives snapshot size,
+// host-RAM pressure, and both swap latencies.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace swapserve::bench {
+namespace {
+
+struct ModeResult {
+  double snapshot_gib = 0;
+  double swap_out_s = 0;
+  double swap_in_s = 0;
+};
+
+ModeResult RunMode(const std::string& model_id, bool sleep_mode) {
+  Bed bed(Machine::kH100);
+  core::Config cfg;
+  core::ModelEntry entry;
+  entry.model_id = model_id;
+  entry.engine = "vllm";
+  entry.sleep_mode = sleep_mode;
+  cfg.models.push_back(entry);
+  core::SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+
+  ModeResult result;
+  bed.RunTask([&]() -> sim::Task<> {
+    SWAP_CHECK((co_await serve.Initialize()).ok());
+    // Snapshot size observed while parked.
+    result.snapshot_gib =
+        serve.snapshot_store().All().front().dirty_bytes.AsGiB();
+    core::ChatResult r = co_await serve.ChatAndWait(model_id, 64, 16);
+    SWAP_CHECK_MSG(r.ok, r.error);
+    serve.Shutdown();
+  });
+  result.swap_out_s = serve.metrics().swap_out_latency_s.mean();
+  result.swap_in_s = serve.metrics().swap_in_latency_s.mean();
+  return result;
+}
+
+void Run() {
+  PrintHeader(
+      "Ablation A3: vLLM sleep mode on/off",
+      "Sleep mode = discard KV arena before checkpoint (only weights are "
+      "dirty).\nOff = the whole gpu_memory_utilization claim round-trips.");
+
+  TablePrinter table({"Model", "Sleep", "Snapshot (GiB)", "Swap-out (s)",
+                      "Swap-in (s)"});
+  for (const char* model : {"llama-3.2-1b-fp16", "llama-3.1-8b-fp16",
+                            "deepseek-r1-14b-fp16"}) {
+    for (bool sleep : {true, false}) {
+      ModeResult r = RunMode(model, sleep);
+      table.AddRow({model, sleep ? "on" : "off",
+                    TablePrinter::Num(r.snapshot_gib, 1),
+                    TablePrinter::Num(r.swap_out_s),
+                    TablePrinter::Num(r.swap_in_s)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape: sleep mode shrinks the host snapshot from ~72 GiB to the "
+      "weight bytes\nand cuts both swap directions — it is why a host with "
+      "~200 GB RAM can keep\nmany vLLM backends hot-swappable at once.\n");
+}
+
+}  // namespace
+}  // namespace swapserve::bench
+
+int main() {
+  swapserve::bench::Run();
+  return 0;
+}

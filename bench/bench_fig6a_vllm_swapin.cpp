@@ -1,0 +1,100 @@
+// Figure 6a reproduction: SwapServeLLM on-demand swap-in latency with the
+// vLLM backend vs vLLM cold start, on H100.
+//
+// Paper: swap-in 5.5 s (LLaMA-3.2-1B) to 7.5 s (DeepSeek-R1 14B) at 72-73
+// GB resident; cold starts 1m41s to 2m53s; headline speedup ~18-31x.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "engine/factory.h"
+
+namespace swapserve::bench {
+namespace {
+
+struct Row {
+  const char* model_id;
+  double paper_swapin_s;  // from Fig. 6a (interpolated for mid sizes)
+};
+
+constexpr Row kModels[] = {
+    {"llama-3.2-1b-fp16", 5.5},
+    {"llama-3.2-3b-fp16", 5.8},
+    {"deepseek-r1-7b-fp16", 6.4},
+    {"llama-3.1-8b-fp16", 6.5},
+    {"deepseek-r1-14b-fp16", 7.5},
+};
+
+void Run() {
+  PrintHeader(
+      "Figure 6a: SwapServeLLM swap-in latency, vLLM backend (H100)",
+      "Swap-in restores a fully-initialized engine (sleep-mode snapshot);\n"
+      "cold start includes container + engine + model initialization.");
+
+  TablePrinter table({"Model", "GPU mem (GiB)", "Swap-in (s)",
+                      "Paper swap-in", "Cold start (s)", "Speedup"});
+  double min_speedup = 1e9;
+  double max_speedup = 0;
+
+  for (const Row& row : kModels) {
+    // Swap-in measurement through the full stack.
+    Bed bed(Machine::kH100);
+    core::Config cfg;
+    core::ModelEntry entry;
+    entry.model_id = row.model_id;
+    entry.engine = "vllm";
+    cfg.models.push_back(entry);
+    core::SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+    double swap_in_s = 0;
+    double resident_gib = 0;
+    bed.RunTask([&]() -> sim::Task<> {
+      SWAP_CHECK((co_await serve.Initialize()).ok());
+      resident_gib =
+          serve.backend(row.model_id)->resident_bytes.AsGiB();
+      core::ChatResult r =
+          co_await serve.ChatAndWait(row.model_id, 64, 16);
+      SWAP_CHECK_MSG(r.ok, r.error);
+      serve.Shutdown();
+    });
+    swap_in_s = serve.metrics().swap_in_latency_s.max();
+
+    // Cold-start comparison on a fresh machine.
+    Bed cold(Machine::kH100);
+    model::ModelSpec spec = cold.catalog.Find(row.model_id).value();
+    auto eng = engine::CreateEngine(engine::EngineKind::kVllm, cold.env(),
+                                    spec, engine::EngineOptions{},
+                                    std::string("cold-") + row.model_id);
+    double cold_s = 0;
+    cold.RunTask([&]() -> sim::Task<> {
+      const sim::SimTime t0 = cold.sim.Now();
+      Result<engine::InitBreakdown> init = co_await eng->ColdStart();
+      SWAP_CHECK_MSG(init.ok(), init.status().ToString());
+      cold_s = (cold.sim.Now() - t0).ToSeconds();
+    });
+
+    const double speedup = cold_s / swap_in_s;
+    min_speedup = std::min(min_speedup, speedup);
+    max_speedup = std::max(max_speedup, speedup);
+    table.AddRow({row.model_id, TablePrinter::Num(resident_gib, 1),
+                  TablePrinter::Num(swap_in_s),
+                  TablePrinter::Num(row.paper_swapin_s, 1),
+                  TablePrinter::Num(cold_s),
+                  TablePrinter::Num(speedup, 1) + "x"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nHeadline: swap-in is %.0fx-%.0fx faster than vLLM cold start "
+      "(paper: ~18x-31x).\n"
+      "Shape checks: all backends sit at ~72 GiB resident regardless of "
+      "model size\n(vLLM preallocates gpu_memory_utilization*HBM); swap-in "
+      "grows with weight bytes only.\n",
+      min_speedup, max_speedup);
+}
+
+}  // namespace
+}  // namespace swapserve::bench
+
+int main() {
+  swapserve::bench::Run();
+  return 0;
+}

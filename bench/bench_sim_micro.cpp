@@ -1,0 +1,135 @@
+// Wall-clock microbenchmarks of the simulation substrate (google-benchmark).
+//
+// These measure the *simulator's* own cost — events/second, coroutine
+// overhead, channel throughput — which bounds how much virtual time the
+// figure benches can chew through per real second.
+
+#include <benchmark/benchmark.h>
+
+#include "json/json.h"
+#include "sim/channel.h"
+#include "sim/combinators.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "workload/trace.h"
+
+namespace swapserve {
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.Schedule(sim::Millis(i % 1000), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_CoroutineSpawnDelay(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int done = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.Go([&sim, &done, i]() -> sim::Task<> {
+        co_await sim.Delay(sim::Millis(i % 100));
+        ++done;
+      });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoroutineSpawnDelay)->Arg(1000)->Arg(10000);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Channel<int> ch(sim, 16);
+    sim.Go([&]() -> sim::Task<> {
+      for (int i = 0; i < n; ++i) (void)co_await ch.Send(i);
+      ch.Close();
+    });
+    std::int64_t sum = 0;
+    sim.Go([&]() -> sim::Task<> {
+      while (auto v = co_await ch.Recv()) sum += *v;
+    });
+    sim.Run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(10000);
+
+void BM_MutexHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::SimMutex mu(sim);
+    int criticals = 0;
+    for (int i = 0; i < 100; ++i) {
+      sim.Go([&]() -> sim::Task<> {
+        for (int k = 0; k < 10; ++k) {
+          auto guard = co_await mu.Acquire();
+          ++criticals;
+          co_await sim.Delay(sim::Micros(1));
+        }
+      });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(criticals);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MutexHandoff);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(42);
+  double acc = 0;
+  for (auto _ : state) acc += rng.Exponential(1.0);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_JsonParseChatRequest(benchmark::State& state) {
+  const std::string body = R"({
+    "model": "deepseek-r1-7b-fp16",
+    "messages": [
+      {"role": "system", "content": "You are a helpful assistant."},
+      {"role": "user", "content": "Explain checkpoint/restore for GPUs."}
+    ],
+    "max_tokens": 256, "temperature": 0, "seed": 7, "stream": true
+  })";
+  for (auto _ : state) {
+    auto v = json::Parse(body);
+    benchmark::DoNotOptimize(v.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_JsonParseChatRequest);
+
+void BM_TraceGenerationWeek(benchmark::State& state) {
+  workload::DiurnalRate rate = workload::DiurnalRate::CodingPreset(0.5);
+  workload::RequestProfile profile = workload::RequestProfile::Coding();
+  for (auto _ : state) {
+    std::vector<workload::ModelWorkload> mix = {{"m", &rate, &profile}};
+    auto trace = workload::GenerateTrace(mix, 7 * 86400.0, 1);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_TraceGenerationWeek);
+
+}  // namespace
+}  // namespace swapserve
+
+BENCHMARK_MAIN();

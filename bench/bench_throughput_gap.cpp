@@ -1,0 +1,117 @@
+// The §2.3 motivation: Ollama loads fast but serves slow. Reproduces the
+// Red Hat benchmarking observation the paper cites — the reason "just use
+// Ollama everywhere" is not a substitute for hot-swapping the
+// high-throughput engines.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "engine/factory.h"
+#include "sim/combinators.h"
+
+namespace swapserve::bench {
+namespace {
+
+struct EngineThroughput {
+  double tokens_per_s_b1 = 0;   // single stream
+  double tokens_per_s_b16 = 0;  // 16-way continuous batch
+  double ttft_ms = 0;           // 512-token prompt
+};
+
+EngineThroughput Measure(engine::EngineKind kind,
+                         const std::string& model_id) {
+  EngineThroughput result;
+  // Single stream.
+  {
+    Bed bed(Machine::kH100);
+    auto eng = engine::CreateEngine(kind, bed.env(),
+                                    bed.catalog.Find(model_id).value(),
+                                    engine::EngineOptions{}, "tput-b1");
+    bed.RunTask([&]() -> sim::Task<> {
+      SWAP_CHECK((co_await eng->ColdStart()).ok());
+      Result<engine::GenerationResult> r = co_await eng->Generate(
+          engine::GenerationRequest{.prompt_tokens = 512,
+                                    .output_tokens = 256});
+      SWAP_CHECK(r.ok());
+      result.ttft_ms = r->time_to_first_token.ToMillis();
+      result.tokens_per_s_b1 =
+          256.0 /
+          (r->total_time - r->time_to_first_token).ToSeconds();
+    });
+  }
+  // 16 concurrent streams (continuous batching).
+  {
+    Bed bed(Machine::kH100);
+    auto eng = engine::CreateEngine(kind, bed.env(),
+                                    bed.catalog.Find(model_id).value(),
+                                    engine::EngineOptions{}, "tput-b16");
+    bed.RunTask([&]() -> sim::Task<> {
+      SWAP_CHECK((co_await eng->ColdStart()).ok());
+      const sim::SimTime t0 = bed.sim.Now();
+      std::vector<sim::Task<>> batch;
+      for (int i = 0; i < 16; ++i) {
+        batch.push_back(
+            [](engine::InferenceEngine& e) -> sim::Task<> {
+              Result<engine::GenerationResult> r = co_await e.Generate(
+                  engine::GenerationRequest{.prompt_tokens = 512,
+                                            .output_tokens = 256});
+              SWAP_CHECK(r.ok());
+            }(*eng));
+      }
+      co_await sim::WhenAll(bed.sim, std::move(batch));
+      result.tokens_per_s_b16 =
+          16.0 * 256.0 / (bed.sim.Now() - t0).ToSeconds();
+    });
+  }
+  return result;
+}
+
+void Run() {
+  PrintHeader(
+      "Throughput gap: why hot-swapping beats \"just use Ollama\" (§2.3)",
+      "LLaMA 3.1-8B FP16 on H100. Ollama cold-starts in seconds but its "
+      "llama.cpp\nkernels reach a far smaller fraction of peak than "
+      "vLLM/TRT (Red Hat's\nbenchmark, cited by the paper) — SwapServeLLM "
+      "keeps the fast engines AND\nfast (re)starts.");
+
+  TablePrinter table({"Engine", "Decode tok/s (1 stream)",
+                      "Decode tok/s (16 streams)", "TTFT 512-tok (ms)",
+                      "Cold start (s)"});
+  for (auto [kind, label] :
+       {std::pair{engine::EngineKind::kOllama, "Ollama"},
+        std::pair{engine::EngineKind::kSglang, "SGLang"},
+        std::pair{engine::EngineKind::kVllm, "vLLM"},
+        std::pair{engine::EngineKind::kTrtllm, "TensorRT-LLM"}}) {
+    EngineThroughput t = Measure(kind, "llama-3.1-8b-fp16");
+    // Cold start for context (same numbers as Fig. 2).
+    Bed bed(Machine::kH100);
+    auto eng = engine::CreateEngine(kind, bed.env(),
+                                    bed.catalog.Find("llama-3.1-8b-fp16")
+                                        .value(),
+                                    engine::EngineOptions{}, "cold");
+    double cold_s = 0;
+    bed.RunTask([&]() -> sim::Task<> {
+      const sim::SimTime t0 = bed.sim.Now();
+      SWAP_CHECK((co_await eng->ColdStart()).ok());
+      cold_s = (bed.sim.Now() - t0).ToSeconds();
+    });
+    table.AddRow({label, TablePrinter::Num(t.tokens_per_s_b1, 0),
+                  TablePrinter::Num(t.tokens_per_s_b16, 0),
+                  TablePrinter::Num(t.ttft_ms, 0),
+                  TablePrinter::Num(cold_s, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape: Ollama trades ~2x decode throughput and prefill speed for "
+      "its fast\nloading; batched throughput scales with batch for every "
+      "engine. SwapServeLLM\nmakes the vLLM column restartable in ~6 s "
+      "instead of ~85 s.\n");
+}
+
+}  // namespace
+}  // namespace swapserve::bench
+
+int main() {
+  swapserve::bench::Run();
+  return 0;
+}

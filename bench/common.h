@@ -1,0 +1,102 @@
+// Shared benchmark scaffolding: simulated servers matching the paper's two
+// evaluation machines, plus small run helpers.
+//
+// Each bench binary reproduces one paper table/figure: it builds fresh
+// simulations, runs the experiment in virtual time, and prints the same
+// rows/series the paper reports, with the paper's measured values alongside
+// where applicable (EXPERIMENTS.md records the comparison).
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "container/runtime.h"
+#include "core/config.h"
+#include "core/swap_serve.h"
+#include "hw/gpu_device.h"
+#include "hw/gpu_spec.h"
+#include "hw/link.h"
+#include "model/catalog.h"
+#include "sim/combinators.h"
+#include "sim/simulation.h"
+#include "util/log.h"
+#include "util/table.h"
+
+#include <cstdlib>
+
+namespace swapserve::bench {
+
+enum class Machine { kA100, kH100 };
+
+// One simulated server (GPU(s) + host storage + container runtime).
+struct Bed {
+  explicit Bed(Machine machine, int gpu_count = 1, bool tmpfs = false,
+               double disk_bw_scale = 1.0)
+      : catalog(model::ModelCatalog::Default()),
+        host(machine == Machine::kA100 ? hw::HostSpec::A100Host()
+                                       : hw::HostSpec::H100Host()),
+        storage(sim, tmpfs ? "tmpfs" : "nvme",
+                Scale(tmpfs ? host.tmpfs_read : host.disk_read,
+                      disk_bw_scale),
+                tmpfs ? sim::Seconds(0.02) : sim::Seconds(0.1)),
+        runtime(sim, container::ImageRegistry::WithDefaultImages()) {
+    const hw::GpuSpec spec = machine == Machine::kA100
+                                 ? hw::GpuSpec::A100Sxm4_80GB()
+                                 : hw::GpuSpec::H100Hbm3_80GB();
+    for (int i = 0; i < gpu_count; ++i) {
+      gpus.push_back(std::make_unique<hw::GpuDevice>(sim, i, spec));
+    }
+  }
+
+  static BytesPerSecond Scale(BytesPerSecond bw, double k) {
+    return BytesPerSecond(bw.bytes_per_sec() * k);
+  }
+
+  core::Hardware hardware() {
+    core::Hardware hw;
+    for (auto& gpu : gpus) hw.gpus.push_back(gpu.get());
+    hw.storage = &storage;
+    hw.runtime = &runtime;
+    return hw;
+  }
+
+  engine::EngineEnv env(int gpu = 0) {
+    return engine::EngineEnv{
+        .sim = &sim,
+        .gpu = gpus[static_cast<std::size_t>(gpu)].get(),
+        .storage = &storage,
+        .runtime = &runtime,
+        .tp_group = {},
+    };
+  }
+
+  template <typename F>
+  void RunTask(F body) {
+    sim::Spawn(std::move(body));
+    sim.Run();
+  }
+
+  sim::Simulation sim;
+  model::ModelCatalog catalog;
+  hw::HostSpec host;
+  std::vector<std::unique_ptr<hw::GpuDevice>> gpus;
+  hw::StorageDevice storage;
+  container::ContainerRuntime runtime;
+};
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  // Opt-in diagnostics: SWAPSERVE_LOG=debug|info|warning.
+  if (const char* level = std::getenv("SWAPSERVE_LOG"); level != nullptr) {
+    const std::string l(level);
+    if (l == "debug") Logger::Global().set_level(LogLevel::kDebug);
+    if (l == "info") Logger::Global().set_level(LogLevel::kInfo);
+    if (l == "trace") Logger::Global().set_level(LogLevel::kTrace);
+  }
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), note.c_str());
+}
+
+}  // namespace swapserve::bench

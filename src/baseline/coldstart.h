@@ -1,0 +1,76 @@
+// Baseline 2: serverless cold-start serving.
+//
+// Models share one GPU; an engine instance exists only while warm. A
+// request for an absent model pays the full cold start (container + engine
+// + model init — Fig. 2's latencies); engines idle longer than the
+// keep-alive are torn down. When a cold start does not fit, the least
+// recently used warm engine is stopped first.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "container/runtime.h"
+#include "core/metrics.h"
+#include "core/types.h"
+#include "engine/factory.h"
+#include "hw/gpu_device.h"
+#include "hw/link.h"
+#include "model/model_spec.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace swapserve::baseline {
+
+class ColdStartServing {
+ public:
+  ColdStartServing(sim::Simulation& sim, hw::GpuDevice& gpu,
+                   hw::StorageDevice& storage,
+                   container::ContainerRuntime& runtime,
+                   engine::EngineKind kind, sim::SimDuration keepalive);
+
+  // Models that may be requested (no resources allocated until first use).
+  void RegisterModel(model::ModelSpec model);
+
+  sim::Task<core::ChatResult> Chat(const std::string& model_id,
+                                   std::int64_t prompt_tokens,
+                                   std::int64_t max_tokens);
+
+  core::Metrics& metrics() { return metrics_; }
+  std::uint64_t cold_starts() const { return cold_starts_; }
+  std::uint64_t teardowns() const { return teardowns_; }
+  bool IsWarm(const std::string& model_id) const;
+
+  // Drive the idle reaper once (also runs automatically after each chat).
+  sim::Task<> ReapIdle();
+
+ private:
+  struct Slot {
+    model::ModelSpec model;
+    std::unique_ptr<engine::InferenceEngine> engine;  // null when cold
+    sim::SimTime last_used;
+    std::unique_ptr<sim::SimMutex> starting;  // serializes cold starts
+    int instance = 0;  // engines are single-shot; each cold start is new
+  };
+
+  sim::Task<Status> EnsureWarm(Slot& slot);
+  sim::Task<Status> Teardown(Slot& slot);
+  Slot* LruWarmExcept(const std::string& model_id);
+
+  sim::Simulation& sim_;
+  hw::GpuDevice& gpu_;
+  hw::StorageDevice& storage_;
+  container::ContainerRuntime& runtime_;
+  engine::EngineKind kind_;
+  sim::SimDuration keepalive_;
+  core::Metrics metrics_;
+  std::map<std::string, Slot> slots_;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t teardowns_ = 0;
+};
+
+}  // namespace swapserve::baseline

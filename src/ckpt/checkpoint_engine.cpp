@@ -1,0 +1,128 @@
+#include "ckpt/checkpoint_engine.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace swapserve::ckpt {
+namespace {
+
+// Split `total` into `n` shards; shard 0 absorbs the remainder.
+Bytes Shard(Bytes total, std::size_t n, std::size_t rank) {
+  const Bytes per(total.count() / static_cast<std::int64_t>(n));
+  if (rank == 0) {
+    return per + (total - per * static_cast<std::int64_t>(n));
+  }
+  return per;
+}
+
+}  // namespace
+
+sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
+    SwapOutRequest req) {
+  SWAP_CHECK(req.container != nullptr && req.process != nullptr);
+  std::vector<hw::GpuDevice*> gpus = req.gpus;
+  if (gpus.empty()) {
+    SWAP_CHECK(req.gpu != nullptr);
+    gpus.push_back(req.gpu);
+  }
+  const sim::SimTime start = sim_.Now();
+
+  // 1. Freeze the container cgroup: CPU side stops issuing CUDA work.
+  Status s = co_await req.container->Pause();
+  if (!s.ok()) co_return s;
+
+  // 2. cuda-checkpoint lock: drain in-flight kernels.
+  s = co_await req.process->Lock(sim::Millis(50));
+  if (!s.ok()) {
+    (void)co_await req.container->Unpause();
+    co_return s;
+  }
+
+  // 3. Stage dirty pages into host RAM (reserve budget first so a full
+  //    store fails before bytes move). Shards drain device->host in
+  //    parallel across the group, so the wall time is one shard's.
+  Snapshot snap;
+  snap.owner = req.owner;
+  snap.clean_bytes = req.clean_bytes;
+  snap.dirty_bytes = req.dirty_bytes;
+  snap.created_at_s = sim_.Now().ToSeconds();
+  snap.tp_degree = static_cast<int>(gpus.size());
+  snap.restore = req.restore;
+  Result<SnapshotId> put = store_.Put(std::move(snap));
+  if (!put.ok()) {
+    (void)co_await req.process->Unlock();
+    (void)co_await req.container->Unpause();
+    co_return put.status();
+  }
+  co_await sim_.Delay(
+      req.checkpoint.CheckpointTime(Shard(req.dirty_bytes, gpus.size(), 0)));
+  SWAP_CHECK(req.process->MarkCheckpointed().ok());
+
+  // 4. Device memory is released by the driver on every group member.
+  Bytes freed(0);
+  for (hw::GpuDevice* gpu : gpus) freed += gpu->FreeAllOwnedBy(req.owner);
+
+  SWAP_LOG(kDebug, "ckpt") << "swap-out " << req.owner << ": freed "
+                           << freed.ToString() << " across " << gpus.size()
+                           << " GPU(s), snapshot "
+                           << req.dirty_bytes.ToString() << " dirty";
+  ++swap_outs_;
+  co_return SwapOutResult{
+      .snapshot = *put,
+      .gpu_freed = freed,
+      .elapsed = sim_.Now() - start,
+  };
+}
+
+sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
+    SnapshotId snapshot_id, container::Container& container,
+    CudaCheckpointProcess& process, std::vector<hw::GpuDevice*> gpus) {
+  SWAP_CHECK_MSG(!gpus.empty(), "swap-in needs at least one GPU");
+  const sim::SimTime start = sim_.Now();
+  SWAP_CO_ASSIGN_OR_RETURN(Snapshot snap, store_.Get(snapshot_id));
+  SWAP_CHECK_MSG(static_cast<int>(gpus.size()) == snap.tp_degree,
+                 "swap-in device group does not match checkpoint topology");
+
+  // 1. Re-acquire device memory on every group member. The task manager's
+  //    reservations should make this infallible; a failure is a
+  //    scheduling bug surfaced as a hard error (with rollback).
+  const Bytes total = snap.clean_bytes + snap.dirty_bytes;
+  std::vector<std::pair<hw::GpuDevice*, hw::AllocationId>> allocs;
+  for (std::size_t rank = 0; rank < gpus.size(); ++rank) {
+    Result<hw::AllocationId> alloc = gpus[rank]->Allocate(
+        snap.owner, Shard(total, gpus.size(), rank), "restored-state");
+    if (!alloc.ok()) {
+      for (auto& [dev, id] : allocs) SWAP_CHECK(dev->Free(id).ok());
+      co_return alloc.status();
+    }
+    allocs.push_back({gpus[rank], *alloc});
+  }
+
+  // 2. Copy dirty shards back and remap clean reservations, in parallel
+  //    across the group; timing comes from the per-engine restore model
+  //    captured at checkpoint time. The fixed term (CUDA context restore +
+  //    API health check) is paid once.
+  co_await sim_.Delay(snap.restore.RestoreTime(
+      Shard(snap.clean_bytes, gpus.size(), 0),
+      Shard(snap.dirty_bytes, gpus.size(), 0)));
+  Status s = process.MarkRestored();
+  if (!s.ok()) co_return s;
+  s = co_await process.Unlock();
+  if (!s.ok()) co_return s;
+
+  // 3. Thaw the cgroup: CPU side resumes exactly where it stopped.
+  s = co_await container.Unpause();
+  if (!s.ok()) co_return s;
+
+  // 4. Host staging buffers are released; the snapshot is consumed.
+  SWAP_CHECK(store_.Drop(snapshot_id).ok());
+
+  SWAP_LOG(kDebug, "ckpt") << "swap-in " << snap.owner << ": restored "
+                           << total.ToString() << " across " << gpus.size()
+                           << " GPU(s)";
+  ++swap_ins_;
+  co_return SwapInResult{.elapsed = sim_.Now() - start};
+}
+
+}  // namespace swapserve::ckpt

@@ -1,0 +1,82 @@
+// The combined CRIUgpu-style hot-swap mechanism: cgroup freezer +
+// cuda-checkpoint + snapshot store (paper §3, §4.2 "Model Preemption").
+//
+// Swap-out:  freeze cgroup -> cuda-checkpoint lock -> drain dirty pages to
+//            host (D2H) -> release all device memory -> container paused.
+// Swap-in:   re-reserve device memory -> copy dirty pages back (H2D) ->
+//            remap clean pages -> cuda-checkpoint unlock -> thaw cgroup ->
+//            API health check.
+//
+// The engine is policy-free: per-backend timing characteristics arrive with
+// each request, captured from calibration (vLLM's sleep mode shrinks dirty
+// bytes; Ollama's whole resident set is dirty).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckpt/cuda_checkpoint.h"
+#include "ckpt/snapshot_store.h"
+#include "container/container.h"
+#include "hw/gpu_device.h"
+#include "model/calibration.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace swapserve::ckpt {
+
+struct SwapOutRequest {
+  container::Container* container = nullptr;
+  CudaCheckpointProcess* process = nullptr;
+  hw::GpuDevice* gpu = nullptr;
+  // Tensor-parallel device group (§6); empty = just `gpu`. Each device
+  // holds an even shard, checkpointed/restored in parallel.
+  std::vector<hw::GpuDevice*> gpus;
+  std::string owner;
+  Bytes clean_bytes{0};  // reserved pages with no meaningful contents
+  Bytes dirty_bytes{0};  // pages that must round-trip through host RAM
+  model::CheckpointModel checkpoint;
+  model::RestoreModel restore;
+};
+
+struct SwapOutResult {
+  SnapshotId snapshot = 0;
+  Bytes gpu_freed{0};
+  sim::SimDuration elapsed;
+};
+
+struct SwapInResult {
+  sim::SimDuration elapsed;
+};
+
+class CheckpointEngine {
+ public:
+  CheckpointEngine(sim::Simulation& sim, SnapshotStore& store)
+      : sim_(sim), store_(store) {}
+
+  // Suspend the backend and free its GPU memory. On failure the container
+  // and process are rolled back to running.
+  sim::Task<Result<SwapOutResult>> SwapOut(SwapOutRequest req);
+
+  // Resume a backend from its snapshot. GPU memory for clean+dirty bytes
+  // must fit across the device group; the caller (task manager)
+  // guarantees this via reservations, but the engine still fails loudly
+  // if the invariant is violated.
+  sim::Task<Result<SwapInResult>> SwapIn(
+      SnapshotId snapshot_id, container::Container& container,
+      CudaCheckpointProcess& process, std::vector<hw::GpuDevice*> gpus);
+
+  SnapshotStore& store() { return store_; }
+  std::uint64_t swap_out_count() const { return swap_outs_; }
+  std::uint64_t swap_in_count() const { return swap_ins_; }
+
+ private:
+  sim::Simulation& sim_;
+  SnapshotStore& store_;
+  std::uint64_t swap_outs_ = 0;
+  std::uint64_t swap_ins_ = 0;
+};
+
+}  // namespace swapserve::ckpt

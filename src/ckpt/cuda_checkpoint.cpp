@@ -1,0 +1,56 @@
+#include "ckpt/cuda_checkpoint.h"
+
+namespace swapserve::ckpt {
+
+std::string_view CudaCheckpointStateName(CudaCheckpointState s) {
+  switch (s) {
+    case CudaCheckpointState::kRunning: return "running";
+    case CudaCheckpointState::kLocked: return "locked";
+    case CudaCheckpointState::kCheckpointed: return "checkpointed";
+  }
+  return "unknown";
+}
+
+sim::Task<Status> CudaCheckpointProcess::Lock(sim::SimDuration drain_time) {
+  if (state_ != CudaCheckpointState::kRunning) {
+    co_return FailedPrecondition(
+        "cuda-checkpoint lock: " + owner_ + " is " +
+        std::string(CudaCheckpointStateName(state_)));
+  }
+  co_await sim_.Delay(drain_time);
+  state_ = CudaCheckpointState::kLocked;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> CudaCheckpointProcess::Unlock() {
+  if (state_ != CudaCheckpointState::kLocked) {
+    co_return FailedPrecondition(
+        "cuda-checkpoint unlock: " + owner_ + " is " +
+        std::string(CudaCheckpointStateName(state_)));
+  }
+  co_await sim_.Delay(sim::Millis(5));
+  state_ = CudaCheckpointState::kRunning;
+  co_return Status::Ok();
+}
+
+Status CudaCheckpointProcess::MarkCheckpointed() {
+  if (state_ != CudaCheckpointState::kLocked) {
+    return FailedPrecondition(
+        "cuda-checkpoint checkpoint: " + owner_ + " is " +
+        std::string(CudaCheckpointStateName(state_)));
+  }
+  state_ = CudaCheckpointState::kCheckpointed;
+  return Status::Ok();
+}
+
+Status CudaCheckpointProcess::MarkRestored() {
+  if (state_ != CudaCheckpointState::kCheckpointed) {
+    return FailedPrecondition(
+        "cuda-checkpoint restore: " + owner_ + " is " +
+        std::string(CudaCheckpointStateName(state_)));
+  }
+  state_ = CudaCheckpointState::kLocked;
+  return Status::Ok();
+}
+
+}  // namespace swapserve::ckpt

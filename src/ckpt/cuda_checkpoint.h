@@ -1,0 +1,54 @@
+// The cuda-checkpoint per-process state machine.
+//
+// NVIDIA's checkpoint utility drives a process through
+//   running -> locked -> checkpointed -> locked -> running
+// where "locked" quiesces submitted work and blocks new CUDA calls, and the
+// checkpoint action copies device memory into host staging buffers and
+// releases all device resources. We reproduce the legal transitions and the
+// time each one costs; illegal transitions fail exactly like the utility
+// does.
+
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace swapserve::ckpt {
+
+enum class CudaCheckpointState {
+  kRunning,       // CUDA calls proceed normally
+  kLocked,        // driver refuses new work; inflight work drained
+  kCheckpointed,  // device state in host memory, GPU resources released
+};
+
+std::string_view CudaCheckpointStateName(CudaCheckpointState s);
+
+class CudaCheckpointProcess {
+ public:
+  CudaCheckpointProcess(sim::Simulation& sim, std::string owner)
+      : sim_(sim), owner_(std::move(owner)) {}
+
+  CudaCheckpointState state() const { return state_; }
+  const std::string& owner() const { return owner_; }
+
+  // running -> locked. Drains in-flight kernels (bounded by `drain_time`).
+  sim::Task<Status> Lock(sim::SimDuration drain_time);
+  // locked -> running.
+  sim::Task<Status> Unlock();
+  // locked -> checkpointed. The caller performs the actual D2H byte
+  // movement (it owns the bandwidth model); this records the transition.
+  Status MarkCheckpointed();
+  // checkpointed -> locked, after the caller finished H2D restore.
+  Status MarkRestored();
+
+ private:
+  sim::Simulation& sim_;
+  std::string owner_;
+  CudaCheckpointState state_ = CudaCheckpointState::kRunning;
+};
+
+}  // namespace swapserve::ckpt

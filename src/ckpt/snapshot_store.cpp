@@ -1,0 +1,56 @@
+#include "ckpt/snapshot_store.h"
+
+namespace swapserve::ckpt {
+
+Result<SnapshotId> SnapshotStore::Put(Snapshot snapshot) {
+  if (snapshot.dirty_bytes.count() < 0 || snapshot.clean_bytes.count() < 0) {
+    return InvalidArgument("negative snapshot size");
+  }
+  if (used_ + snapshot.dirty_bytes > budget_) {
+    return ResourceExhausted(
+        "snapshot store: " + snapshot.owner + " needs " +
+        snapshot.dirty_bytes.ToString() + " host RAM, " + free().ToString() +
+        " free");
+  }
+  snapshot.id = next_id_++;
+  used_ += snapshot.dirty_bytes;
+  const SnapshotId id = snapshot.id;
+  snapshots_.emplace(id, std::move(snapshot));
+  return id;
+}
+
+Result<Snapshot> SnapshotStore::Get(SnapshotId id) const {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status SnapshotStore::Drop(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  used_ -= it->second.dirty_bytes;
+  snapshots_.erase(it);
+  return Status::Ok();
+}
+
+Result<Snapshot> SnapshotStore::FindByOwner(const std::string& owner) const {
+  const Snapshot* latest = nullptr;
+  for (const auto& [id, snap] : snapshots_) {
+    if (snap.owner == owner) latest = &snap;  // map is id-ordered
+  }
+  if (latest == nullptr) return NotFound("snapshot for " + owner);
+  return *latest;
+}
+
+std::vector<Snapshot> SnapshotStore::All() const {
+  std::vector<Snapshot> out;
+  out.reserve(snapshots_.size());
+  for (const auto& [id, snap] : snapshots_) out.push_back(snap);
+  return out;
+}
+
+}  // namespace swapserve::ckpt

@@ -1,0 +1,59 @@
+// Host-RAM snapshot storage.
+//
+// SwapServeLLM keeps checkpoints "in-memory" (§3.2): only dirty device pages
+// occupy host RAM; reserved-but-cleared pages (vLLM's slept KV arena) are
+// recorded as metadata and recreated on restore. The store enforces the
+// host RAM budget — snapshot pressure is a real constraint on how many
+// models one server can keep hot-swappable.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/calibration.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace swapserve::ckpt {
+
+using SnapshotId = std::uint64_t;
+
+struct Snapshot {
+  SnapshotId id = 0;
+  std::string owner;        // backend name
+  Bytes clean_bytes{0};     // reserved GPU memory with no host copy
+  Bytes dirty_bytes{0};     // bytes staged in host RAM
+  double created_at_s = 0;  // virtual time of creation
+  int tp_degree = 1;        // device-group size the state shards across
+  // Per-engine restore characteristics captured at checkpoint time.
+  model::RestoreModel restore;
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(Bytes host_budget) : budget_(host_budget) {}
+
+  // Fails with RESOURCE_EXHAUSTED when dirty bytes exceed remaining budget.
+  Result<SnapshotId> Put(Snapshot snapshot);
+  Result<Snapshot> Get(SnapshotId id) const;
+  Status Drop(SnapshotId id);
+  // Latest snapshot for a backend, if any.
+  Result<Snapshot> FindByOwner(const std::string& owner) const;
+
+  Bytes used() const { return used_; }
+  Bytes budget() const { return budget_; }
+  Bytes free() const { return budget_ - used_; }
+  std::size_t count() const { return snapshots_.size(); }
+  std::vector<Snapshot> All() const;
+
+ private:
+  Bytes budget_;
+  Bytes used_{0};
+  SnapshotId next_id_ = 1;
+  std::map<SnapshotId, Snapshot> snapshots_;
+};
+
+}  // namespace swapserve::ckpt

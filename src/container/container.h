@@ -1,0 +1,91 @@
+// Container lifecycle with cgroup-freezer pause/resume.
+//
+// Mirrors the podman semantics SwapServeLLM depends on: a container is
+// created, started (paying image boot overheads), and can be paused —
+// which freezes its cgroup, stopping CPU execution instantly without
+// killing the process. The paper's hot-swap path is exactly
+// freeze -> cuda-checkpoint -> [idle] -> restore -> thaw.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "container/image.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace swapserve::container {
+
+enum class ContainerState {
+  kCreated,   // exists, process not started
+  kRunning,   // process executing
+  kPaused,    // cgroup frozen
+  kStopped,   // process exited
+  kRemoved,   // gone
+};
+
+std::string_view ContainerStateName(ContainerState s);
+
+// The cgroup-v2 freezer: freezing stops all tasks in the cgroup at a safe
+// point; thawing resumes them. Both take roughly a scheduling quantum.
+class CgroupFreezer {
+ public:
+  explicit CgroupFreezer(sim::Simulation& sim) : sim_(sim) {}
+
+  sim::Task<Status> Freeze();
+  sim::Task<Status> Thaw();
+  bool frozen() const { return frozen_; }
+
+ private:
+  sim::Simulation& sim_;
+  bool frozen_ = false;
+};
+
+class Container {
+ public:
+  Container(sim::Simulation& sim, std::uint64_t id, std::string name,
+            ImageSpec image, std::string ip, int port);
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const ImageSpec& image() const { return image_; }
+  const std::string& ip() const { return ip_; }
+  int port() const { return port_; }
+  ContainerState state() const { return state_; }
+  CgroupFreezer& freezer() { return freezer_; }
+
+  // Created -> Running; pays create_start + entrypoint_boot.
+  sim::Task<Status> Start();
+  // Running -> Paused (freezes the cgroup).
+  sim::Task<Status> Pause();
+  // Paused -> Running (thaws the cgroup).
+  sim::Task<Status> Unpause();
+  // Running|Paused -> Stopped (SIGTERM with grace period).
+  sim::Task<Status> Stop();
+
+  // Total virtual time this container has spent in kRunning.
+  sim::SimDuration TotalRunning() const;
+
+ private:
+  void EnterState(ContainerState next);
+
+  sim::Simulation& sim_;
+  std::uint64_t id_;
+  std::string name_;
+  ImageSpec image_;
+  std::string ip_;
+  int port_;
+  ContainerState state_ = ContainerState::kCreated;
+  CgroupFreezer freezer_;
+
+  sim::SimTime running_since_;
+  sim::SimDuration total_running_;
+
+  friend class ContainerRuntime;  // for Remove()
+};
+
+}  // namespace swapserve::container

@@ -1,0 +1,56 @@
+#include "container/image.h"
+
+namespace swapserve::container {
+
+ImageRegistry ImageRegistry::WithDefaultImages() {
+  ImageRegistry registry;
+  // Boot overheads calibrated against Fig. 2 (DESIGN.md §4): a vLLM
+  // container spends ~30 s importing torch/flash-attn and spinning up the
+  // engine core before weight loading; Ollama's Go binary is up in ~1 s.
+  SWAP_CHECK(registry
+                 .Register({.name = "vllm/vllm-openai:v0.9.2",
+                            .size = GiB(17),
+                            .create_start = sim::Seconds(1.4),
+                            .entrypoint_boot = sim::Seconds(28.5)})
+                 .ok());
+  SWAP_CHECK(registry
+                 .Register({.name = "ollama/ollama:v0.9.6",
+                            .size = GiB(4.6),
+                            .create_start = sim::Seconds(0.7),
+                            .entrypoint_boot = sim::Seconds(0.9)})
+                 .ok());
+  SWAP_CHECK(registry
+                 .Register({.name = "ollama/ollama:v0.5.7",
+                            .size = GiB(4.2),
+                            .create_start = sim::Seconds(0.7),
+                            .entrypoint_boot = sim::Seconds(1.0)})
+                 .ok());
+  SWAP_CHECK(registry
+                 .Register({.name = "lmsysorg/sglang:v0.4.9",
+                            .size = GiB(15),
+                            .create_start = sim::Seconds(1.3),
+                            .entrypoint_boot = sim::Seconds(12.0)})
+                 .ok());
+  SWAP_CHECK(registry
+                 .Register({.name = "nvcr.io/nvidia/tensorrt-llm:v1.0rc0",
+                            .size = GiB(24),
+                            .create_start = sim::Seconds(1.6),
+                            .entrypoint_boot = sim::Seconds(22.0)})
+                 .ok());
+  return registry;
+}
+
+Status ImageRegistry::Register(ImageSpec image) {
+  if (image.name.empty()) return InvalidArgument("image name empty");
+  auto [it, inserted] = images_.emplace(image.name, std::move(image));
+  if (!inserted) return AlreadyExists("image " + it->first);
+  return Status::Ok();
+}
+
+Result<ImageSpec> ImageRegistry::Find(const std::string& name) const {
+  auto it = images_.find(name);
+  if (it == images_.end()) return NotFound("image " + name);
+  return it->second;
+}
+
+}  // namespace swapserve::container

@@ -1,0 +1,40 @@
+// Container images for the inference-engine backends.
+//
+// Cold start in the paper's Fig. 2 includes container startup; an image here
+// carries the two latency components of that phase: the runtime's
+// create+start overhead and the entrypoint boot time (python interpreter,
+// torch import, engine process spin-up) paid before the engine begins model
+// initialization proper.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/time.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace swapserve::container {
+
+struct ImageSpec {
+  std::string name;               // e.g. "vllm/vllm-openai:v0.9.2"
+  Bytes size;                     // on-disk image size (layer store)
+  sim::SimDuration create_start;  // podman create+start (rootfs, netns)
+  sim::SimDuration entrypoint_boot;  // interpreter + framework imports
+};
+
+class ImageRegistry {
+ public:
+  // Registry preloaded with the paper's four engine images.
+  static ImageRegistry WithDefaultImages();
+
+  Status Register(ImageSpec image);
+  Result<ImageSpec> Find(const std::string& name) const;
+  std::size_t size() const { return images_.size(); }
+
+ private:
+  std::map<std::string, ImageSpec> images_;
+};
+
+}  // namespace swapserve::container

@@ -1,0 +1,82 @@
+#include "core/admin.h"
+
+#include "util/table.h"
+
+namespace swapserve::core {
+
+Backend* AdminApi::Find(const std::string& model_id) const {
+  for (Backend* backend : controller_.backends()) {
+    if (backend->name() == model_id) return backend;
+  }
+  return nullptr;
+}
+
+sim::Task<Status> AdminApi::SwapIn(const std::string& model_id) {
+  Backend* backend = Find(model_id);
+  if (backend == nullptr) co_return NotFound("model " + model_id);
+  Result<sim::SimRwLock::SharedGuard> pin =
+      co_await scheduler_.EnsureRunningAndPin(*backend);
+  if (!pin.ok()) co_return pin.status();
+  pin->Release();  // admin swap-in only warms the backend
+  co_return Status::Ok();
+}
+
+sim::Task<Status> AdminApi::SwapOut(const std::string& model_id) {
+  Backend* backend = Find(model_id);
+  if (backend == nullptr) co_return NotFound("model " + model_id);
+  co_return co_await controller_.SwapOut(*backend, /*preemption=*/false);
+}
+
+json::Value AdminApi::SystemStatus() const {
+  json::Value out = json::Value::MakeObject();
+  out["time_s"] = json::Value(sim_.Now().ToSeconds());
+  out["swap_ins"] = json::Value(static_cast<std::int64_t>(metrics_.swap_ins));
+  out["swap_outs"] =
+      json::Value(static_cast<std::int64_t>(metrics_.swap_outs));
+  out["preemptions"] =
+      json::Value(static_cast<std::int64_t>(metrics_.preemptions));
+  out["preemption_policy"] =
+      json::Value(std::string(PreemptionPolicyName(controller_.policy())));
+
+  json::Value backends = json::Value::MakeArray();
+  for (Backend* b : controller_.backends()) {
+    json::Value entry = json::Value::MakeObject();
+    entry["model"] = json::Value(b->name());
+    entry["engine"] = json::Value(std::string(b->engine->kind_name()));
+    entry["state"] = json::Value(
+        std::string(engine::BackendStateName(b->engine->state())));
+    entry["gpu"] = json::Value(b->gpu());
+    entry["queue_depth"] =
+        json::Value(static_cast<std::int64_t>(b->queue->size()));
+    entry["active_requests"] = json::Value(b->engine->active_requests());
+    entry["resident_gib"] =
+        json::Value(b->engine->state() == engine::BackendState::kRunning
+                        ? b->engine->GpuResidentBytes().AsGiB()
+                        : 0.0);
+    entry["last_accessed_s"] = json::Value(b->last_accessed.ToSeconds());
+    backends.PushBack(std::move(entry));
+  }
+  out["backends"] = std::move(backends);
+  return out;
+}
+
+void AdminApi::WriteMetricsCsv(std::ostream& os) const {
+  TablePrinter csv({"model", "completed", "rejected", "failed", "expired",
+                    "served_resident", "served_after_swap_in",
+                    "output_tokens", "ttft_p50_s", "ttft_p99_s",
+                    "swap_wait_mean_s"});
+  for (const auto& [model, mm] : metrics_.per_model()) {
+    csv.AddRow({model, std::to_string(mm.completed),
+                std::to_string(mm.rejected), std::to_string(mm.failed),
+                std::to_string(mm.expired),
+                std::to_string(mm.served_resident),
+                std::to_string(mm.served_after_swap_in),
+                std::to_string(mm.output_tokens),
+                TablePrinter::Num(mm.ttft_s.Median(), 4),
+                TablePrinter::Num(mm.ttft_s.P99(), 4),
+                TablePrinter::Num(mm.swap_wait_s.mean(), 4)});
+  }
+  csv.WriteCsv(os);
+}
+
+}  // namespace swapserve::core

@@ -1,0 +1,54 @@
+// Administrative surface: explicit swap control, system status, and CSV
+// metrics export.
+//
+// §4.2: models are swapped in "with either explicit API calls or incoming
+// inference requests" — this is the explicit path. The paper's artifact
+// exports its measurements as CSV; MetricsCsv mirrors that format.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/backend.h"
+#include "core/engine_controller.h"
+#include "core/metrics.h"
+#include "core/scheduler.h"
+#include "json/json.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace swapserve::core {
+
+class AdminApi {
+ public:
+  AdminApi(sim::Simulation& sim, Scheduler& scheduler,
+           EngineController& controller, Metrics& metrics)
+      : sim_(sim),
+        scheduler_(scheduler),
+        controller_(controller),
+        metrics_(metrics) {}
+
+  // POST /admin/models/{name}/swap-in — resolve when resident.
+  sim::Task<Status> SwapIn(const std::string& model_id);
+  // POST /admin/models/{name}/swap-out — drains in-flight requests first.
+  sim::Task<Status> SwapOut(const std::string& model_id);
+
+  // GET /admin/status — backends, states, footprints, swap counters.
+  // (Named SystemStatus to avoid shadowing the Status error type.)
+  json::Value SystemStatus() const;
+
+  // Metrics export in the artifact's CSV shape: one row per model with
+  // latency percentiles and counters.
+  void WriteMetricsCsv(std::ostream& os) const;
+
+ private:
+  Backend* Find(const std::string& model_id) const;
+
+  sim::Simulation& sim_;
+  Scheduler& scheduler_;
+  EngineController& controller_;
+  Metrics& metrics_;
+};
+
+}  // namespace swapserve::core

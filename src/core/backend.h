@@ -1,0 +1,77 @@
+// Backend: the per-model serving unit SwapServeLLM hot-swaps.
+//
+// Bundles the inference engine, its request queue, the §3.5 write-lock
+// (shared = request forwarding, exclusive = swap operations), LRU metadata,
+// and the snapshot handle while swapped out.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ckpt/snapshot_store.h"
+#include "core/config.h"
+#include "core/types.h"
+#include "engine/engine.h"
+#include "sim/channel.h"
+#include "sim/sync.h"
+
+namespace swapserve::core {
+
+struct Backend {
+  Backend(sim::Simulation& sim, ModelEntry entry, model::ModelSpec spec,
+          std::unique_ptr<engine::InferenceEngine> eng,
+          std::size_t queue_capacity)
+      : config(std::move(entry)),
+        model(std::move(spec)),
+        engine(std::move(eng)),
+        queue(std::make_unique<sim::Channel<QueuedRequest>>(sim,
+                                                            queue_capacity)),
+        lock(sim),
+        swap_done(sim) {}
+
+  const std::string& name() const { return config.model_id; }
+  hw::GpuId gpu() const { return config.gpu; }
+  // Device ids the backend's tensor-parallel group occupies:
+  // [gpu, gpu + tp).
+  std::vector<hw::GpuId> GpuIds() const {
+    std::vector<hw::GpuId> out;
+    for (int i = 0; i < config.tp; ++i) out.push_back(config.gpu + i);
+    return out;
+  }
+  bool OnGpu(hw::GpuId id) const {
+    return id >= config.gpu && id < config.gpu + config.tp;
+  }
+
+  // Demand metric for the preemption policy's first tier: requests queued
+  // plus requests currently being served.
+  std::size_t Demand() const {
+    return queue->size() +
+           static_cast<std::size_t>(engine->active_requests());
+  }
+
+  ModelEntry config;
+  model::ModelSpec model;
+  std::unique_ptr<engine::InferenceEngine> engine;
+  std::unique_ptr<sim::Channel<QueuedRequest>> queue;
+
+  // Forwarding holds shared access; swap-in/out take exclusive access, so a
+  // preemption naturally waits for in-flight generations to drain and no
+  // request is forwarded into a half-checkpointed engine.
+  sim::SimRwLock lock;
+
+  // LRU tie-breaker metadata (tier 2 of the preemption policy), updated by
+  // the request handler on every accepted request.
+  sim::SimTime last_accessed;
+
+  // Valid while the backend is swapped out.
+  ckpt::SnapshotId snapshot = 0;
+  bool has_snapshot = false;
+  Bytes resident_bytes{0};  // GPU footprint to re-reserve on swap-in
+
+  // Swap-in deduplication: concurrent triggers await the in-flight one.
+  bool swap_in_progress = false;
+  sim::SimEvent swap_done;
+};
+
+}  // namespace swapserve::core

@@ -1,0 +1,110 @@
+#include "core/config.h"
+
+#include <set>
+
+#include "engine/factory.h"
+
+namespace swapserve::core {
+
+Result<Config> Config::FromJson(const json::Value& doc) {
+  if (!doc.is_object()) return InvalidArgument("config: not a JSON object");
+  Config cfg;
+
+  if (const json::Value* global = doc.Find("global"); global != nullptr) {
+    if (!global->is_object()) {
+      return InvalidArgument("config: \"global\" must be an object");
+    }
+    cfg.global.response_timeout_s =
+        global->GetDouble("response_timeout_s", cfg.global.response_timeout_s);
+    cfg.global.kv_cache_type =
+        global->GetString("kv_cache_type", cfg.global.kv_cache_type);
+    cfg.global.auth_token =
+        global->GetString("auth_token", cfg.global.auth_token);
+    cfg.global.queue_capacity = static_cast<std::size_t>(global->GetInt(
+        "queue_capacity", static_cast<std::int64_t>(cfg.global.queue_capacity)));
+    cfg.global.snapshot_budget_gib =
+        global->GetDouble("snapshot_budget_gib", cfg.global.snapshot_budget_gib);
+    cfg.global.monitor_interval_s =
+        global->GetDouble("monitor_interval_s", cfg.global.monitor_interval_s);
+    cfg.global.idle_swap_out_s =
+        global->GetDouble("idle_swap_out_s", cfg.global.idle_swap_out_s);
+  }
+
+  const json::Value* models = doc.Find("models");
+  if (models == nullptr || !models->is_array()) {
+    return InvalidArgument("config: missing \"models\" array");
+  }
+  for (const json::Value& entry : models->AsArray()) {
+    if (!entry.is_object()) {
+      return InvalidArgument("config: model entry must be an object");
+    }
+    ModelEntry m;
+    m.model_id = entry.GetString("model", "");
+    if (m.model_id.empty()) {
+      return InvalidArgument("config: model entry missing \"model\"");
+    }
+    m.engine = entry.GetString("engine", "vllm");
+    m.image = entry.GetString("image", "");
+    m.gpu_memory_utilization =
+        entry.GetDouble("gpu_memory_utilization", m.gpu_memory_utilization);
+    m.init_timeout_s = entry.GetDouble("init_timeout_s", m.init_timeout_s);
+    m.sleep_mode = entry.GetBool("sleep_mode", m.sleep_mode);
+    m.gpu = static_cast<int>(entry.GetInt("gpu", 0));
+    m.tp = static_cast<int>(entry.GetInt("tp", 1));
+    cfg.models.push_back(std::move(m));
+  }
+  return cfg;
+}
+
+Result<Config> Config::FromJsonText(std::string_view text) {
+  SWAP_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
+  return FromJson(doc);
+}
+
+Status Config::Validate(const model::ModelCatalog& catalog,
+                        int gpu_count) const {
+  if (models.empty()) return InvalidArgument("config: no models configured");
+  if (global.response_timeout_s <= 0) {
+    return InvalidArgument("config: response_timeout_s must be positive");
+  }
+  if (global.queue_capacity == 0) {
+    return InvalidArgument("config: queue_capacity must be positive");
+  }
+  if (global.snapshot_budget_gib <= 0) {
+    return InvalidArgument("config: snapshot_budget_gib must be positive");
+  }
+  if (global.idle_swap_out_s < 0) {
+    return InvalidArgument("config: idle_swap_out_s must be >= 0");
+  }
+  std::set<std::string> seen;
+  for (const ModelEntry& m : models) {
+    if (!seen.insert(m.model_id).second) {
+      return InvalidArgument("config: duplicate model " + m.model_id);
+    }
+    if (!catalog.Contains(m.model_id)) {
+      return NotFound("config: model " + m.model_id + " not in catalog");
+    }
+    SWAP_RETURN_IF_ERROR(engine::ParseEngineKind(m.engine).status());
+    if (m.gpu_memory_utilization <= 0 || m.gpu_memory_utilization > 1.0) {
+      return InvalidArgument("config: model " + m.model_id +
+                             ": gpu_memory_utilization out of (0, 1]");
+    }
+    if (m.init_timeout_s <= 0) {
+      return InvalidArgument("config: model " + m.model_id +
+                             ": init_timeout_s must be positive");
+    }
+    if (m.gpu < 0 || m.gpu >= gpu_count) {
+      return InvalidArgument("config: model " + m.model_id + ": gpu index " +
+                             std::to_string(m.gpu) + " out of range");
+    }
+    if (m.tp < 1 || m.gpu + m.tp > gpu_count) {
+      return InvalidArgument(
+          "config: model " + m.model_id + ": tensor-parallel group [" +
+          std::to_string(m.gpu) + ", " + std::to_string(m.gpu + m.tp) +
+          ") does not fit the " + std::to_string(gpu_count) + "-GPU host");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace swapserve::core

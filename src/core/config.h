@@ -1,0 +1,61 @@
+// SwapServeLLM configuration (§3.2): global runtime parameters plus a list
+// of model entries, loadable from JSON and validated before anything
+// starts.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "json/json.h"
+#include "model/catalog.h"
+#include "util/status.h"
+
+namespace swapserve::core {
+
+// Engine-wide parameters ("global parameters ... such as response timeout,
+// KV cache type, and authentication tokens").
+struct GlobalConfig {
+  double response_timeout_s = 120.0;
+  std::string kv_cache_type = "fp16";
+  std::string auth_token;  // empty = no auth
+  std::size_t queue_capacity = 64;  // per-backend request queue
+  // Host RAM budget for in-memory snapshots.
+  double snapshot_budget_gib = 192.0;
+  // Idle sampling period of the GPU monitor.
+  double monitor_interval_s = 1.0;
+  // Proactively swap out backends idle for this long (0 = disabled; the
+  // paper's workflow swaps out only under memory pressure).
+  double idle_swap_out_s = 0.0;
+};
+
+// Per-model parameters ("model name, container image, GPU memory
+// utilization, and initialization timeout").
+struct ModelEntry {
+  std::string model_id;     // catalog key, also the API-visible name
+  std::string engine;       // "vllm" | "ollama" | "sglang" | "trtllm"
+  std::string image;        // empty = engine default image
+  double gpu_memory_utilization = 0.9;
+  double init_timeout_s = 600.0;
+  bool sleep_mode = true;
+  int gpu = 0;  // first device index the backend is pinned to
+  // Tensor-parallel degree (§6): the backend spans GPUs [gpu, gpu + tp).
+  int tp = 1;
+};
+
+struct Config {
+  GlobalConfig global;
+  std::vector<ModelEntry> models;
+
+  // Parse from a JSON document of the shape
+  //   {"global": {...}, "models": [{...}, ...]}.
+  static Result<Config> FromJson(const json::Value& doc);
+  static Result<Config> FromJsonText(std::string_view text);
+
+  // Cross-checks every entry against the catalog and the engine registry;
+  // returns the first violation.
+  Status Validate(const model::ModelCatalog& catalog, int gpu_count) const;
+};
+
+}  // namespace swapserve::core

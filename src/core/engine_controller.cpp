@@ -1,0 +1,199 @@
+#include "core/engine_controller.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace swapserve::core {
+
+std::string_view PreemptionPolicyName(PreemptionPolicy p) {
+  switch (p) {
+    case PreemptionPolicy::kDemandAware: return "demand-aware";
+    case PreemptionPolicy::kLruOnly: return "lru-only";
+    case PreemptionPolicy::kRandom: return "random";
+    case PreemptionPolicy::kLargestFirst: return "largest-first";
+  }
+  return "?";
+}
+
+EngineController::EngineController(sim::Simulation& sim,
+                                   ckpt::CheckpointEngine& ckpt,
+                                   TaskManager& task_manager,
+                                   Metrics& metrics, PreemptionPolicy policy,
+                                   std::uint64_t seed)
+    : sim_(sim),
+      ckpt_(ckpt),
+      task_manager_(task_manager),
+      metrics_(metrics),
+      policy_(policy),
+      rng_(seed) {}
+
+void EngineController::RegisterBackend(Backend* backend) {
+  SWAP_CHECK(backend != nullptr);
+  backends_.push_back(backend);
+}
+
+sim::Task<Status> EngineController::SwapOut(Backend& backend,
+                                            bool preemption) {
+  // Write-lock: stops new forwarding and waits for in-flight requests.
+  auto exclusive = co_await backend.lock.AcquireExclusive();
+  if (backend.engine->state() != engine::BackendState::kRunning) {
+    co_return Status::Ok();  // lost the race; already out
+  }
+  const sim::SimTime start = sim_.Now();
+  SWAP_CO_RETURN_IF_ERROR(backend.engine->MarkSwapping());
+
+  // Engine-specific optimization (vLLM sleep) shrinks the dirty set.
+  Status prep = co_await backend.engine->PrepareForCheckpoint();
+  if (!prep.ok()) {
+    SWAP_CHECK(backend.engine->MarkRunning().ok());
+    co_return prep;
+  }
+
+  ckpt::SwapOutRequest req{
+      .container = backend.engine->container(),
+      .process = &backend.engine->process(),
+      .gpu = nullptr,
+      .gpus = backend.engine->Gpus(),
+      .owner = backend.name(),
+      .clean_bytes = backend.engine->CleanBytes(),
+      .dirty_bytes = backend.engine->DirtyBytes(),
+      .checkpoint = backend.engine->CheckpointCharacteristics(),
+      .restore = backend.engine->RestoreCharacteristics(),
+  };
+  const Bytes resident = req.clean_bytes + req.dirty_bytes;
+  Result<ckpt::SwapOutResult> result = co_await ckpt_.SwapOut(req);
+  if (!result.ok()) {
+    SWAP_CHECK(backend.engine->MarkRunning().ok());
+    co_return result.status();
+  }
+
+  backend.snapshot = result->snapshot;
+  backend.has_snapshot = true;
+  backend.resident_bytes = resident;
+  SWAP_CHECK(backend.engine->MarkSwappedOut().ok());
+
+  ++metrics_.swap_outs;
+  if (preemption) ++metrics_.preemptions;
+  metrics_.swap_out_latency_s.Add((sim_.Now() - start).ToSeconds());
+  for (hw::GpuId id : backend.GpuIds()) {
+    task_manager_.NotifyMemoryReleased(id);
+  }
+  SWAP_LOG(kInfo, "controller")
+      << "swapped out " << backend.name() << " (" << resident.ToString()
+      << (preemption ? ", preempted)" : ")");
+  co_return Status::Ok();
+}
+
+sim::Task<Status> EngineController::SwapIn(Backend& backend) {
+  auto exclusive = co_await backend.lock.AcquireExclusive();
+  if (backend.engine->state() == engine::BackendState::kRunning) {
+    co_return Status::Ok();
+  }
+  if (!backend.has_snapshot) {
+    co_return FailedPrecondition("swap-in " + backend.name() +
+                                 ": no snapshot");
+  }
+  const sim::SimTime start = sim_.Now();
+  SWAP_CO_RETURN_IF_ERROR(backend.engine->MarkSwapping());
+
+  Result<ckpt::SwapInResult> result = co_await ckpt_.SwapIn(
+      backend.snapshot, *backend.engine->container(),
+      backend.engine->process(), backend.engine->Gpus());
+  if (!result.ok()) {
+    SWAP_CHECK(backend.engine->MarkSwappedOut().ok());
+    co_return result.status();
+  }
+  backend.has_snapshot = false;
+  backend.snapshot = 0;
+
+  Status after = co_await backend.engine->AfterRestore();
+  if (!after.ok()) co_return after;
+  SWAP_CHECK(backend.engine->MarkRunning().ok());
+
+  ++metrics_.swap_ins;
+  metrics_.swap_in_latency_s.Add((sim_.Now() - start).ToSeconds());
+  SWAP_LOG(kInfo, "controller")
+      << "swapped in " << backend.name() << " in "
+      << (sim_.Now() - start).ToString();
+  co_return Status::Ok();
+}
+
+std::vector<Backend*> EngineController::PreemptionCandidates(
+    hw::GpuId gpu, const std::string& requester) {
+  std::vector<Backend*> out;
+  for (Backend* b : backends_) {
+    if (!b->OnGpu(gpu)) continue;
+    if (b->name() == requester) continue;
+    if (b->engine->state() != engine::BackendState::kRunning) continue;
+    if (b->lock.write_locked()) continue;  // already being swapped
+    out.push_back(b);
+  }
+  switch (policy_) {
+    case PreemptionPolicy::kDemandAware:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const Backend* a, const Backend* b) {
+                         if (a->Demand() != b->Demand()) {
+                           return a->Demand() < b->Demand();
+                         }
+                         return a->last_accessed < b->last_accessed;
+                       });
+      break;
+    case PreemptionPolicy::kLruOnly:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const Backend* a, const Backend* b) {
+                         return a->last_accessed < b->last_accessed;
+                       });
+      break;
+    case PreemptionPolicy::kRandom:
+      // Fisher-Yates with the controller's deterministic stream.
+      for (std::size_t i = out.size(); i > 1; --i) {
+        std::swap(out[i - 1],
+                  out[static_cast<std::size_t>(rng_.UniformInt(
+                      0, static_cast<std::int64_t>(i) - 1))]);
+      }
+      break;
+    case PreemptionPolicy::kLargestFirst:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const Backend* a, const Backend* b) {
+                         return a->engine->GpuResidentBytes() >
+                                b->engine->GpuResidentBytes();
+                       });
+      break;
+  }
+  return out;
+}
+
+sim::Task<Bytes> EngineController::ReclaimMemory(
+    hw::GpuId gpu, Bytes needed, const std::string& requester) {
+  Bytes freed(0);
+  std::vector<std::string> failed;  // skip victims that refused to swap out
+  while (freed < needed) {
+    std::vector<Backend*> candidates = PreemptionCandidates(gpu, requester);
+    std::erase_if(candidates, [&failed](const Backend* b) {
+      return std::find(failed.begin(), failed.end(), b->name()) !=
+             failed.end();
+    });
+    if (candidates.empty()) break;
+    Backend* victim = candidates.front();
+    // Memory this eviction frees on *this* GPU: the victim's shard.
+    const Bytes victim_resident =
+        Bytes(victim->engine->GpuResidentBytes().count() /
+              victim->engine->tp_degree());
+    SWAP_LOG(kInfo, "controller")
+        << "preempting " << victim->name() << " (demand "
+        << victim->Demand() << ", " << victim_resident.ToString()
+        << ") to make room for " << requester;
+    Status s = co_await SwapOut(*victim, /*preemption=*/true);
+    if (s.ok()) {
+      freed += victim_resident;
+    } else {
+      SWAP_LOG(kWarning, "controller")
+          << "preemption of " << victim->name() << " failed: " << s;
+      failed.push_back(victim->name());
+    }
+  }
+  co_return freed;
+}
+
+}  // namespace swapserve::core

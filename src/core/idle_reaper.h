@@ -1,0 +1,49 @@
+// Proactive idle swap-out.
+//
+// The §3.3 workflow swaps backends out only under memory pressure; this
+// optional policy loop additionally parks backends that have been idle for
+// a configured period, freeing GPU memory (and shrinking future preemption
+// work) before pressure arrives — the elasticity knob a serverless operator
+// would tune against the snapshot-store budget.
+
+#pragma once
+
+#include "core/backend.h"
+#include "core/engine_controller.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace swapserve::core {
+
+class IdleReaper {
+ public:
+  // Backends idle (no queued, active, or recent requests) for at least
+  // `idle_threshold` are swapped out; the loop wakes every `scan_interval`.
+  IdleReaper(sim::Simulation& sim, EngineController& controller,
+             sim::SimDuration idle_threshold, sim::SimDuration scan_interval)
+      : sim_(sim),
+        controller_(controller),
+        idle_threshold_(idle_threshold),
+        scan_interval_(scan_interval) {}
+
+  void Start();
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  // One scan pass (also called by the loop); returns backends swapped out.
+  sim::Task<int> ScanOnce();
+
+  std::uint64_t total_reaped() const { return total_reaped_; }
+
+ private:
+  bool IsIdle(const Backend& backend) const;
+
+  sim::Simulation& sim_;
+  EngineController& controller_;
+  sim::SimDuration idle_threshold_;
+  sim::SimDuration scan_interval_;
+  bool running_ = false;
+  std::uint64_t total_reaped_ = 0;
+};
+
+}  // namespace swapserve::core

@@ -1,0 +1,31 @@
+#include "core/metrics.h"
+
+namespace swapserve::core {
+
+std::uint64_t Metrics::TotalCompleted() const {
+  std::uint64_t total = 0;
+  for (const auto& [model, m] : per_model_) total += m.completed;
+  return total;
+}
+
+std::uint64_t Metrics::TotalRejected() const {
+  std::uint64_t total = 0;
+  for (const auto& [model, m] : per_model_) total += m.rejected;
+  return total;
+}
+
+std::uint64_t Metrics::TotalFailed() const {
+  std::uint64_t total = 0;
+  for (const auto& [model, m] : per_model_) total += m.failed + m.expired;
+  return total;
+}
+
+Samples Metrics::AllTtft() const {
+  Samples all;
+  for (const auto& [model, m] : per_model_) {
+    for (double v : m.ttft_s.values()) all.Add(v);
+  }
+  return all;
+}
+
+}  // namespace swapserve::core

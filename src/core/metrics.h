@@ -1,0 +1,53 @@
+// Serving metrics: per-model latency distributions and system counters.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace swapserve::core {
+
+struct ModelMetrics {
+  Samples ttft_s;          // arrival -> first token
+  Samples total_s;         // arrival -> completion
+  Samples swap_wait_s;     // swap-in wait within TTFT (0 when resident)
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   // queue full
+  std::uint64_t failed = 0;     // engine/timeout errors
+  std::uint64_t expired = 0;    // client gone before service started
+  std::uint64_t served_resident = 0;  // no swap needed
+  std::uint64_t served_after_swap_in = 0;
+  std::int64_t output_tokens = 0;
+};
+
+class Metrics {
+ public:
+  ModelMetrics& ForModel(const std::string& model_id) {
+    return per_model_[model_id];
+  }
+  const std::map<std::string, ModelMetrics>& per_model() const {
+    return per_model_;
+  }
+
+  // System-wide counters.
+  std::uint64_t swap_ins = 0;
+  std::uint64_t swap_outs = 0;
+  std::uint64_t preemptions = 0;  // swap-outs forced by memory pressure
+  Samples swap_in_latency_s;
+  Samples swap_out_latency_s;
+
+  // Aggregates across models.
+  std::uint64_t TotalCompleted() const;
+  std::uint64_t TotalRejected() const;
+  std::uint64_t TotalFailed() const;
+  Samples AllTtft() const;
+
+ private:
+  std::map<std::string, ModelMetrics> per_model_;
+};
+
+}  // namespace swapserve::core

@@ -1,0 +1,124 @@
+#include "core/model_worker.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace swapserve::core {
+
+void ModelWorker::Start() {
+  SWAP_CHECK_MSG(!running_, "worker already started");
+  running_ = true;
+  sim_.Go([this]() -> sim::Task<> {
+    co_await Run();
+    running_ = false;
+  });
+}
+
+void ModelWorker::RespondError(const QueuedRequest& item,
+                               const std::string& error) {
+  ResponseChunk chunk;
+  chunk.kind = ResponseChunk::Kind::kError;
+  chunk.error = error;
+  (void)item.response->TrySend(std::move(chunk));
+  item.response->Close();
+}
+
+sim::Task<> ModelWorker::Run() {
+  while (true) {
+    std::optional<QueuedRequest> next = co_await backend_.queue->Recv();
+    if (!next.has_value()) break;  // queue closed and drained
+    QueuedRequest item = std::move(*next);
+
+    // §4.1: verify the client connection is still active before spending
+    // any resources on the request.
+    if (item.request.deadline_s > 0 &&
+        sim_.Now().ToSeconds() >= item.request.deadline_s) {
+      ++metrics_.ForModel(backend_.name()).expired;
+      RespondError(item, "client deadline expired while queued");
+      continue;
+    }
+
+    // ④⑩ Coordinate swap-in and forward concurrently, so the engine
+    // batches while we keep polling the queue.
+    ++active_relays_;
+    sim::Spawn([this, item = std::move(item)]() mutable -> sim::Task<> {
+      co_await Relay(std::move(item));
+      --active_relays_;
+    });
+  }
+}
+
+sim::Task<> ModelWorker::Relay(QueuedRequest item) {
+  // Pin the backend: the guard holds shared access, so a concurrent
+  // preemption (exclusive) waits for this request to drain, and the
+  // scheduler guarantees a freshly swapped-in backend serves us before it
+  // can be evicted again.
+  const sim::SimTime t0 = sim_.Now();
+  const bool was_resident =
+      backend_.engine->state() == engine::BackendState::kRunning;
+  Result<sim::SimRwLock::SharedGuard> pin =
+      co_await scheduler_.EnsureRunningAndPin(backend_);
+  const double swap_wait_s =
+      was_resident ? 0.0 : (sim_.Now() - t0).ToSeconds();
+  ModelMetrics& mm = metrics_.ForModel(backend_.name());
+  if (!pin.ok()) {
+    ++mm.failed;
+    RespondError(item, "swap-in failed: " + pin.status().ToString());
+    co_return;
+  }
+
+  engine::GenerationRequest gen{
+      .prompt_tokens = item.request.prompt_tokens,
+      .output_tokens = item.request.max_tokens,
+      .temperature = item.request.temperature,
+      .seed = item.request.seed,
+  };
+  const double serve_start_s = sim_.Now().ToSeconds();
+  Result<engine::GenerationResult> result =
+      co_await backend_.engine->Generate(gen);
+  pin->Release();
+
+  if (!result.ok()) {
+    ++mm.failed;
+    RespondError(item, result.status().ToString());
+    co_return;
+  }
+
+  const double arrival = item.request.arrival_time_s;
+  const double ttft_s = (serve_start_s - arrival) +
+                        result->time_to_first_token.ToSeconds();
+  const double total_s = sim_.Now().ToSeconds() - arrival;
+
+  ResponseChunk first;
+  first.kind = ResponseChunk::Kind::kFirstToken;
+  first.token_count = 1;
+  (void)item.response->TrySend(std::move(first));
+  if (result->output_tokens > 1) {
+    ResponseChunk body;
+    body.kind = ResponseChunk::Kind::kTokens;
+    body.token_count = result->output_tokens - 1;
+    (void)item.response->TrySend(std::move(body));
+  }
+  ResponseChunk done;
+  done.kind = ResponseChunk::Kind::kDone;
+  done.token_count = 0;
+  done.ttft_s = ttft_s;
+  done.total_s = total_s;
+  done.swap_wait_s = swap_wait_s;
+  (void)item.response->TrySend(std::move(done));
+  item.response->Close();
+
+  ++mm.completed;
+  mm.output_tokens += result->output_tokens;
+  mm.ttft_s.Add(ttft_s);
+  mm.total_s.Add(total_s);
+  mm.swap_wait_s.Add(swap_wait_s);
+  if (swap_wait_s > 0) {
+    ++mm.served_after_swap_in;
+  } else {
+    ++mm.served_resident;
+  }
+}
+
+}  // namespace swapserve::core

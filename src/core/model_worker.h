@@ -1,0 +1,45 @@
+// Per-backend model worker (§3.1 circles 3-4, 10): drains the model queue,
+// verifies client liveness, coordinates swap-ins with the scheduler, and
+// forwards requests to the engine — concurrently, so a continuous batch
+// forms while the queue keeps draining.
+
+#pragma once
+
+#include "core/backend.h"
+#include "core/metrics.h"
+#include "core/scheduler.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace swapserve::core {
+
+class ModelWorker {
+ public:
+  ModelWorker(sim::Simulation& sim, Backend& backend, Scheduler& scheduler,
+              Metrics& metrics)
+      : sim_(sim),
+        backend_(backend),
+        scheduler_(scheduler),
+        metrics_(metrics) {}
+
+  // Spawn the polling loop. It exits when the backend queue is closed and
+  // drained.
+  void Start();
+  bool running() const { return running_; }
+  // Relays (forwarded requests) still in flight.
+  int active_relays() const { return active_relays_; }
+
+ private:
+  sim::Task<> Run();
+  sim::Task<> Relay(QueuedRequest item);
+  void RespondError(const QueuedRequest& item, const std::string& error);
+
+  sim::Simulation& sim_;
+  Backend& backend_;
+  Scheduler& scheduler_;
+  Metrics& metrics_;
+  bool running_ = false;
+  int active_relays_ = 0;
+};
+
+}  // namespace swapserve::core

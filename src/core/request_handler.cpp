@@ -1,0 +1,46 @@
+#include "core/request_handler.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace swapserve::core {
+
+void RequestHandler::RegisterBackend(Backend* backend) {
+  SWAP_CHECK(backend != nullptr);
+  auto [it, inserted] = backends_.emplace(backend->name(), backend);
+  SWAP_CHECK_MSG(inserted, "duplicate backend registration");
+}
+
+Backend* RequestHandler::FindBackend(const std::string& model_id) {
+  auto it = backends_.find(model_id);
+  return it == backends_.end() ? nullptr : it->second;
+}
+
+Result<ResponseChannelPtr> RequestHandler::Accept(InferenceRequest request) {
+  Backend* backend = FindBackend(request.model);
+  if (backend == nullptr) {
+    return NotFound("model " + request.model + " is not served");
+  }
+
+  // Metadata stamps (§4.1): arrival time and backend utilization tracking.
+  request.id = request.id != 0 ? request.id : NextRequestId();
+  request.arrival_time_s = sim_.Now().ToSeconds();
+  if (request.deadline_s == 0 && global_.response_timeout_s > 0) {
+    request.deadline_s =
+        request.arrival_time_s + global_.response_timeout_s;
+  }
+  backend->last_accessed = sim_.Now();
+
+  auto channel = std::make_shared<ResponseChannel>(sim_, /*capacity=*/128);
+  QueuedRequest item{.request = request, .response = channel};
+  if (!backend->queue->TrySend(std::move(item))) {
+    ++metrics_.ForModel(request.model).rejected;
+    return ResourceExhausted("queue for " + request.model + " is full");
+  }
+  SWAP_LOG(kDebug, "handler") << "accepted request " << request.id << " for "
+                              << request.model;
+  return channel;
+}
+
+}  // namespace swapserve::core

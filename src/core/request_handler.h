@@ -1,0 +1,47 @@
+// The request handler (§3.1 circle 2, §4.1): accepts validated requests,
+// creates the response channel, stamps metadata, updates the backend's
+// last-accessed time, and enqueues to the model-specific queue with
+// capacity-based admission control.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/backend.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/types.h"
+#include "sim/simulation.h"
+#include "util/status.h"
+
+namespace swapserve::core {
+
+class RequestHandler {
+ public:
+  RequestHandler(sim::Simulation& sim, GlobalConfig global, Metrics& metrics)
+      : sim_(sim), global_(std::move(global)), metrics_(metrics) {}
+
+  void RegisterBackend(Backend* backend);
+  Backend* FindBackend(const std::string& model_id);
+
+  // Accept an already-validated request: returns the response channel the
+  // caller streams from, or RESOURCE_EXHAUSTED when the backend queue is
+  // full (HTTP 429 in the real system).
+  Result<ResponseChannelPtr> Accept(InferenceRequest request);
+
+  RequestId NextRequestId() { return next_request_id_++; }
+  const GlobalConfig& global() const { return global_; }
+  const std::map<std::string, Backend*>& backends() const {
+    return backends_;
+  }
+
+ private:
+  sim::Simulation& sim_;
+  GlobalConfig global_;
+  Metrics& metrics_;
+  RequestId next_request_id_ = 1;
+  std::map<std::string, Backend*> backends_;
+};
+
+}  // namespace swapserve::core

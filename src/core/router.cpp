@@ -1,0 +1,84 @@
+#include "core/router.h"
+
+#include <algorithm>
+
+namespace swapserve::core {
+
+std::int64_t OpenAiRouter::EstimatePromptTokens(const json::Value& messages) {
+  std::int64_t chars = 0;
+  std::int64_t message_count = 0;
+  for (const json::Value& msg : messages.AsArray()) {
+    ++message_count;
+    const json::Value* content = msg.Find("content");
+    if (content != nullptr && content->is_string()) {
+      chars += static_cast<std::int64_t>(content->AsString().size());
+    }
+  }
+  return std::max<std::int64_t>(1, chars / 4 + message_count * 4);
+}
+
+Result<ResponseChannelPtr> OpenAiRouter::ChatCompletions(
+    const std::string& body_json, const std::string& bearer_token) {
+  const std::string& expected = handler_.global().auth_token;
+  if (!expected.empty() && bearer_token != expected) {
+    return FailedPrecondition("invalid authentication token");
+  }
+
+  SWAP_ASSIGN_OR_RETURN(json::Value body, json::Parse(body_json));
+  if (!body.is_object()) {
+    return InvalidArgument("request body must be a JSON object");
+  }
+
+  const std::string model = body.GetString("model", "");
+  if (model.empty()) {
+    return InvalidArgument("missing required field: model");
+  }
+
+  const json::Value* messages = body.Find("messages");
+  if (messages == nullptr || !messages->is_array() ||
+      messages->AsArray().empty()) {
+    return InvalidArgument("messages must be a non-empty array");
+  }
+  for (const json::Value& msg : messages->AsArray()) {
+    if (!msg.is_object() || msg.GetString("role", "").empty()) {
+      return InvalidArgument("each message needs a role");
+    }
+  }
+
+  const double temperature = body.GetDouble("temperature", 0.0);
+  if (temperature < 0.0 || temperature > 2.0) {
+    return InvalidArgument("temperature must be in [0, 2]");
+  }
+  const std::int64_t max_tokens = body.GetInt("max_tokens", 512);
+  if (max_tokens <= 0 || max_tokens > 16384) {
+    return InvalidArgument("max_tokens must be in [1, 16384]");
+  }
+
+  InferenceRequest request;
+  request.model = model;
+  request.prompt_tokens = EstimatePromptTokens(*messages);
+  request.max_tokens = max_tokens;
+  request.temperature = temperature;
+  request.seed = static_cast<std::uint64_t>(body.GetInt("seed", 0));
+  request.stream = body.GetBool("stream", true);
+  return handler_.Accept(std::move(request));
+}
+
+json::Value OpenAiRouter::ListModels() const {
+  json::Value out = json::Value::MakeObject();
+  out["object"] = json::Value("list");
+  out["data"] = json::Value::MakeArray();
+  for (const auto& [name, backend] : handler_.backends()) {
+    json::Value entry = json::Value::MakeObject();
+    entry["id"] = json::Value(name);
+    entry["object"] = json::Value("model");
+    entry["owned_by"] = json::Value("swapserve");
+    entry["engine"] = json::Value(std::string(backend->engine->kind_name()));
+    entry["state"] = json::Value(
+        std::string(engine::BackendStateName(backend->engine->state())));
+    out["data"].PushBack(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace swapserve::core

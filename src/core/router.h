@@ -1,0 +1,51 @@
+// The OpenAI-compatible API router (§3.1 circle 1, §4.1).
+//
+// Accepts /v1/chat/completions payloads as JSON text, authenticates,
+// validates the body against the OpenAI specification subset SwapServeLLM
+// supports, estimates prompt tokens, and hands the validated request to the
+// request handler. There is no HTTP framing here — the paper's router
+// contribution is the validation/queuing/dispatch logic, which this class
+// reproduces in-process (DESIGN.md §1).
+
+#pragma once
+
+#include <string>
+
+#include "core/request_handler.h"
+#include "core/types.h"
+#include "json/json.h"
+#include "util/status.h"
+
+namespace swapserve::core {
+
+class OpenAiRouter {
+ public:
+  explicit OpenAiRouter(RequestHandler& handler) : handler_(handler) {}
+
+  // POST /v1/chat/completions. `bearer_token` is the Authorization header
+  // value (without the "Bearer " prefix). Returns the streaming response
+  // channel, or:
+  //   INVALID_ARGUMENT  - malformed/unsupported payload (HTTP 400)
+  //   UNAUTHENTICATED is modelled as FAILED_PRECONDITION (HTTP 401)
+  //   NOT_FOUND         - unknown model (HTTP 404)
+  //   RESOURCE_EXHAUSTED- queue full (HTTP 429)
+  Result<ResponseChannelPtr> ChatCompletions(
+      const std::string& body_json, const std::string& bearer_token = "");
+
+  // Parsed+validated form, for callers that already have a request struct.
+  Result<ResponseChannelPtr> Submit(InferenceRequest request) {
+    return handler_.Accept(std::move(request));
+  }
+
+  // GET /v1/models.
+  json::Value ListModels() const;
+
+  // Rough BPE estimate used when the payload does not carry token counts:
+  // ~4 characters per token, plus a small per-message overhead.
+  static std::int64_t EstimatePromptTokens(const json::Value& messages);
+
+ private:
+  RequestHandler& handler_;
+};
+
+}  // namespace swapserve::core

@@ -1,0 +1,102 @@
+#include "core/scheduler.h"
+
+#include "util/log.h"
+
+namespace swapserve::core {
+
+sim::Task<Result<sim::SimRwLock::SharedGuard>>
+Scheduler::EnsureRunningAndPin(Backend& backend) {
+  while (true) {
+    if (backend.engine->state() == engine::BackendState::kRunning) {
+      // Pin. The lock is FIFO, so we may wait behind a queued preemption;
+      // re-check the state once granted and retry if we lost the backend.
+      sim::SimRwLock::SharedGuard pin =
+          co_await backend.lock.AcquireShared();
+      if (backend.engine->state() == engine::BackendState::kRunning) {
+        co_return pin;
+      }
+      pin.Release();
+      continue;
+    }
+
+    if (backend.swap_in_progress) {
+      // Another trigger is already swapping this backend in; wait and
+      // re-evaluate (it may have failed, or the backend may have been
+      // preempted again).
+      co_await backend.swap_done.Wait();
+      continue;
+    }
+
+    if (backend.engine->state() == engine::BackendState::kSwapping) {
+      // A swap-out (preemption) is mid-flight under the exclusive lock;
+      // queue behind it as a reader, then re-evaluate once it settles.
+      sim::SimRwLock::SharedGuard stale =
+          co_await backend.lock.AcquireShared();
+      stale.Release();
+      continue;
+    }
+
+    if (backend.engine->state() != engine::BackendState::kSwappedOut) {
+      co_return Unavailable(
+          "backend " + backend.name() + " is " +
+          std::string(engine::BackendStateName(backend.engine->state())));
+    }
+
+    backend.swap_in_progress = true;
+    backend.swap_done.Reset();
+
+    // §3.4/§6: reserve the GPU memory saved at swap-out — one scoped
+    // reservation per device in the tensor-parallel group, acquired in
+    // ascending device order so overlapping groups cannot deadlock.
+    const std::vector<hw::GpuId> gpu_ids = backend.GpuIds();
+    const auto tp = static_cast<std::int64_t>(gpu_ids.size());
+    const Bytes per_gpu(backend.resident_bytes.count() / tp);
+    const Bytes first_gpu = per_gpu + (backend.resident_bytes - per_gpu * tp);
+    std::vector<TaskManager::Reservation> reservations;
+    Status status = Status::Ok();
+    for (std::size_t rank = 0; rank < gpu_ids.size(); ++rank) {
+      Result<TaskManager::Reservation> reservation =
+          co_await task_manager_.Reserve(
+              gpu_ids[rank], rank == 0 ? first_gpu : per_gpu,
+              backend.name());
+      if (!reservation.ok()) {
+        status = reservation.status();
+        break;
+      }
+      reservations.push_back(std::move(*reservation));
+    }
+    if (!status.ok()) {
+      SWAP_LOG(kWarning, "scheduler")
+          << "reservation for " << backend.name() << " failed: " << status;
+      reservations.clear();  // release any shards already acquired
+      backend.swap_in_progress = false;
+      backend.swap_done.Set();
+      co_return status;
+    }
+
+    status = co_await controller_.SwapIn(backend);
+    if (!status.ok()) {
+      reservations.clear();
+      backend.swap_in_progress = false;
+      backend.swap_done.Set();
+      co_return status;
+    }
+
+    // Queue the pin BEFORE releasing the reservations: the release may
+    // immediately trigger a rival's preemption of this very backend, and
+    // FIFO ordering on the lock guarantees our reader precedes it.
+    sim::SimRwLock::SharedGuard pin = co_await backend.lock.AcquireShared();
+    reservations.clear();
+    backend.swap_in_progress = false;
+    backend.swap_done.Set();
+    if (backend.engine->state() != engine::BackendState::kRunning) {
+      // A preemptor queued its exclusive while we were restoring and beat
+      // our pin in FIFO order; it already evicted us again. Retry.
+      pin.Release();
+      continue;
+    }
+    co_return pin;
+  }
+}
+
+}  // namespace swapserve::core

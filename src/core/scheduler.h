@@ -1,0 +1,44 @@
+// The scheduler (§3.1 circles 4-5, 9): turns "this backend must be running"
+// into a task-manager reservation followed by an engine-controller swap-in,
+// deduplicating concurrent triggers per backend.
+//
+// EnsureRunningAndPin returns a *shared* lock guard ("pin") on the backend.
+// The pin is queued before the swap-in reservation is released, so a
+// preemption triggered by that release (a rival's pending reservation)
+// queues strictly behind it: a freshly restored backend always serves the
+// request that paid for its swap-in before it can be evicted again. Without
+// this ordering two backends that cannot coexist would evict each other
+// forever without serving anybody (swap livelock).
+
+#pragma once
+
+#include "core/backend.h"
+#include "core/engine_controller.h"
+#include "core/task_manager.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace swapserve::core {
+
+class Scheduler {
+ public:
+  Scheduler(sim::Simulation& sim, TaskManager& task_manager,
+            EngineController& controller)
+      : sim_(sim), task_manager_(task_manager), controller_(controller) {}
+
+  // Resolve when the backend is running, holding shared (reader) access to
+  // it. The caller serves its request under the returned guard and releases
+  // it afterwards; swap operations take the exclusive side. Safe to call
+  // concurrently: followers await the leader's in-flight swap-in.
+  sim::Task<Result<sim::SimRwLock::SharedGuard>> EnsureRunningAndPin(
+      Backend& backend);
+
+ private:
+  sim::Simulation& sim_;
+  TaskManager& task_manager_;
+  EngineController& controller_;
+};
+
+}  // namespace swapserve::core

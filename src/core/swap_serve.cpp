@@ -1,0 +1,188 @@
+#include "core/swap_serve.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/factory.h"
+#include "util/log.h"
+
+namespace swapserve::core {
+
+SwapServe::SwapServe(sim::Simulation& sim, Config config,
+                     const model::ModelCatalog& catalog, Hardware hardware,
+                     SwapServeOptions options)
+    : sim_(sim),
+      config_(std::move(config)),
+      hardware_(hardware),
+      options_(options),
+      snapshot_store_(GiB(config_.global.snapshot_budget_gib)),
+      ckpt_engine_(sim, snapshot_store_),
+      task_manager_(sim, hardware_.gpus),
+      controller_(sim, ckpt_engine_, task_manager_, metrics_,
+                  options.preemption_policy),
+      scheduler_(sim, task_manager_, controller_),
+      handler_(sim, config_.global, metrics_),
+      router_(handler_),
+      admin_(sim, scheduler_, controller_, metrics_) {
+  SWAP_CHECK(hardware_.storage != nullptr && hardware_.runtime != nullptr);
+  SWAP_CHECK_MSG(
+      config_.Validate(catalog, static_cast<int>(hardware_.gpus.size()))
+          .ok(),
+      "SwapServe constructed with invalid config; call Config::Validate");
+  task_manager_.set_delegate(&controller_);
+
+  for (const ModelEntry& entry : config_.models) {
+    model::ModelSpec spec = catalog.Find(entry.model_id).value();
+    engine::EngineEnv env{
+        .sim = &sim_,
+        .gpu = hardware_.gpus[static_cast<std::size_t>(entry.gpu)],
+        .storage = hardware_.storage,
+        .runtime = hardware_.runtime,
+        .tp_group = {},
+    };
+    if (entry.tp > 1) {
+      for (int i = 0; i < entry.tp; ++i) {
+        env.tp_group.push_back(
+            hardware_.gpus[static_cast<std::size_t>(entry.gpu + i)]);
+      }
+    }
+    engine::EngineOptions eng_options{
+        .gpu_memory_utilization = entry.gpu_memory_utilization,
+        .sleep_mode = entry.sleep_mode,
+        .enforce_eager = false,
+    };
+    const engine::EngineKind kind =
+        engine::ParseEngineKind(entry.engine).value();
+    auto backend = std::make_unique<Backend>(
+        sim_, entry, spec,
+        engine::CreateEngine(kind, env, spec, eng_options, entry.model_id),
+        config_.global.queue_capacity);
+    controller_.RegisterBackend(backend.get());
+    handler_.RegisterBackend(backend.get());
+    backends_.push_back(std::move(backend));
+  }
+
+  monitor_ = std::make_unique<hw::GpuMonitor>(
+      sim_, hardware_.gpus, sim::Seconds(config_.global.monitor_interval_s));
+}
+
+sim::Task<Status> SwapServe::Initialize() {
+  if (initialized_) co_return FailedPrecondition("already initialized");
+
+  // §3.2: bring each backend up in turn — cold start (container + engine +
+  // model), snapshot, leave paused. Sequential by design: large backends
+  // (vLLM claims ~72 GB) cannot co-initialize on one GPU.
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    const sim::SimTime t0 = sim_.Now();
+    // Claim the whole device group while this backend initializes.
+    std::vector<TaskManager::Reservation> reservations;
+    for (hw::GpuId id : backend->GpuIds()) {
+      Result<TaskManager::Reservation> reservation =
+          co_await task_manager_.Reserve(
+              id, hardware_.gpus[static_cast<std::size_t>(id)]->capacity(),
+              backend->name());
+      if (!reservation.ok()) co_return reservation.status();
+      reservations.push_back(std::move(*reservation));
+    }
+
+    Result<engine::InitBreakdown> breakdown =
+        co_await backend->engine->ColdStart();
+    reservations.clear();
+    if (!breakdown.ok()) co_return breakdown.status();
+    if ((sim_.Now() - t0).ToSeconds() > backend->config.init_timeout_s) {
+      co_return DeadlineExceeded(
+          "initialization of " + backend->name() + " took " +
+          (sim_.Now() - t0).ToString() + " (timeout " +
+          std::to_string(backend->config.init_timeout_s) + "s)");
+    }
+
+    if (!options_.keep_resident_after_init) {
+      SWAP_CO_RETURN_IF_ERROR(
+          co_await controller_.SwapOut(*backend, /*preemption=*/false));
+    }
+    SWAP_LOG(kInfo, "swapserve")
+        << backend->name() << " initialized in "
+        << breakdown->Total().ToString() << " and "
+        << (options_.keep_resident_after_init ? "kept resident"
+                                              : "snapshotted");
+  }
+
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    workers_.push_back(std::make_unique<ModelWorker>(
+        sim_, *backend, scheduler_, metrics_));
+    workers_.back()->Start();
+  }
+  monitor_->Start();
+  if (config_.global.idle_swap_out_s > 0) {
+    idle_reaper_ = std::make_unique<IdleReaper>(
+        sim_, controller_, sim::Seconds(config_.global.idle_swap_out_s),
+        sim::Seconds(std::max(1.0, config_.global.idle_swap_out_s / 4)));
+    idle_reaper_->Start();
+  }
+  initialized_ = true;
+  co_return Status::Ok();
+}
+
+void SwapServe::Shutdown() {
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    backend->queue->Close();
+  }
+  monitor_->Stop();
+  if (idle_reaper_ != nullptr) idle_reaper_->Stop();
+}
+
+sim::Task<ChatResult> SwapServe::CollectResponse(ResponseChannelPtr channel) {
+  ChatResult result;
+  while (std::optional<ResponseChunk> chunk = co_await channel->Recv()) {
+    switch (chunk->kind) {
+      case ResponseChunk::Kind::kFirstToken:
+      case ResponseChunk::Kind::kTokens:
+        result.output_tokens += chunk->token_count;
+        break;
+      case ResponseChunk::Kind::kDone:
+        result.ok = true;
+        result.ttft_s = chunk->ttft_s;
+        result.total_s = chunk->total_s;
+        result.swap_wait_s = chunk->swap_wait_s;
+        break;
+      case ResponseChunk::Kind::kError:
+        result.ok = false;
+        result.error = chunk->error;
+        break;
+    }
+  }
+  co_return result;
+}
+
+sim::Task<ChatResult> SwapServe::ChatAndWait(const std::string& model_id,
+                                             std::int64_t prompt_tokens,
+                                             std::int64_t max_tokens) {
+  InferenceRequest request;
+  request.model = model_id;
+  request.prompt_tokens = prompt_tokens;
+  request.max_tokens = max_tokens;
+  Result<ResponseChannelPtr> channel = handler_.Accept(std::move(request));
+  if (!channel.ok()) {
+    ChatResult failed;
+    failed.ok = false;
+    failed.error = channel.status().ToString();
+    co_return failed;
+  }
+  co_return co_await CollectResponse(*channel);
+}
+
+Backend* SwapServe::backend(const std::string& model_id) {
+  for (const std::unique_ptr<Backend>& b : backends_) {
+    if (b->name() == model_id) return b.get();
+  }
+  return nullptr;
+}
+
+std::vector<Backend*> SwapServe::backends() {
+  std::vector<Backend*> out;
+  out.reserve(backends_.size());
+  for (const std::unique_ptr<Backend>& b : backends_) out.push_back(b.get());
+  return out;
+}
+
+}  // namespace swapserve::core

@@ -1,0 +1,113 @@
+// SwapServe: the assembled framework (§3.1 / Figure 4).
+//
+// Owns the task manager, engine controller, scheduler, request handler,
+// router, per-model backends and workers, the checkpoint engine and
+// snapshot store. Initialize() performs the paper's §3.2 startup: run a
+// container per configured model, fully initialize each engine, snapshot
+// it, and leave it swapped out — so the first request to any model pays a
+// hot-swap, never a cold start.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint_engine.h"
+#include "ckpt/snapshot_store.h"
+#include "core/admin.h"
+#include "core/backend.h"
+#include "core/config.h"
+#include "core/engine_controller.h"
+#include "core/idle_reaper.h"
+#include "core/metrics.h"
+#include "core/model_worker.h"
+#include "core/request_handler.h"
+#include "core/router.h"
+#include "core/scheduler.h"
+#include "core/task_manager.h"
+#include "hw/gpu_device.h"
+#include "hw/gpu_monitor.h"
+#include "hw/link.h"
+#include "model/catalog.h"
+#include "sim/simulation.h"
+#include "util/status.h"
+
+namespace swapserve::core {
+
+struct Hardware {
+  std::vector<hw::GpuDevice*> gpus;     // not owned
+  hw::StorageDevice* storage = nullptr;  // not owned
+  container::ContainerRuntime* runtime = nullptr;  // not owned
+};
+
+struct SwapServeOptions {
+  PreemptionPolicy preemption_policy = PreemptionPolicy::kDemandAware;
+  // Keep every backend resident after Initialize() instead of snapshotting
+  // and swapping out (useful for ablations; fails if they don't all fit).
+  bool keep_resident_after_init = false;
+};
+
+class SwapServe {
+ public:
+  SwapServe(sim::Simulation& sim, Config config,
+            const model::ModelCatalog& catalog, Hardware hardware,
+            SwapServeOptions options = {});
+  SwapServe(const SwapServe&) = delete;
+  SwapServe& operator=(const SwapServe&) = delete;
+
+  // §3.2 initialization. Must complete before requests are submitted.
+  sim::Task<Status> Initialize();
+
+  // Close all queues; resolves once workers drained (call, then Run()).
+  void Shutdown();
+
+  // --- serving entry points ---------------------------------------------
+  OpenAiRouter& router() { return router_; }
+  RequestHandler& handler() { return handler_; }
+  // Explicit swap control + status + CSV export (§4.2's explicit API path).
+  AdminApi& admin() { return admin_; }
+
+  // Convenience for examples/benches: submit and await the full response.
+  sim::Task<ChatResult> ChatAndWait(const std::string& model_id,
+                                    std::int64_t prompt_tokens,
+                                    std::int64_t max_tokens);
+
+  // Await all chunks from a response channel.
+  static sim::Task<ChatResult> CollectResponse(ResponseChannelPtr channel);
+
+  // --- introspection ------------------------------------------------------
+  Backend* backend(const std::string& model_id);
+  std::vector<Backend*> backends();
+  Metrics& metrics() { return metrics_; }
+  TaskManager& task_manager() { return task_manager_; }
+  EngineController& controller() { return controller_; }
+  Scheduler& scheduler() { return scheduler_; }
+  ckpt::SnapshotStore& snapshot_store() { return snapshot_store_; }
+  hw::GpuMonitor& monitor() { return *monitor_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  sim::Simulation& sim_;
+  Config config_;
+  Hardware hardware_;
+  SwapServeOptions options_;
+
+  Metrics metrics_;
+  ckpt::SnapshotStore snapshot_store_;
+  ckpt::CheckpointEngine ckpt_engine_;
+  TaskManager task_manager_;
+  EngineController controller_;
+  Scheduler scheduler_;
+  RequestHandler handler_;
+  OpenAiRouter router_;
+  AdminApi admin_;
+  std::unique_ptr<hw::GpuMonitor> monitor_;
+  std::unique_ptr<IdleReaper> idle_reaper_;  // null unless configured
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::vector<std::unique_ptr<ModelWorker>> workers_;
+  bool initialized_ = false;
+};
+
+}  // namespace swapserve::core

@@ -1,0 +1,65 @@
+// Request/response plumbing types shared across the SwapServeLLM core.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/channel.h"
+#include "sim/time.h"
+
+namespace swapserve::core {
+
+using RequestId = std::uint64_t;
+
+// A validated inference request, after OpenAI-payload parsing.
+struct InferenceRequest {
+  RequestId id = 0;
+  std::string model;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t max_tokens = 0;  // output-token cap
+  double temperature = 0.0;
+  std::uint64_t seed = 0;
+  bool stream = true;
+  double arrival_time_s = 0;
+  // Optional client deadline: if serving has not *started* by this virtual
+  // time the worker drops the request (client disconnect / timeout).
+  double deadline_s = 0;  // 0 = none
+};
+
+struct ResponseChunk {
+  enum class Kind { kFirstToken, kTokens, kDone, kError };
+  Kind kind = Kind::kTokens;
+  std::int64_t token_count = 0;
+  std::string error;
+
+  // Completion summary, carried on kDone.
+  double ttft_s = 0;        // arrival -> first token (incl. queue + swap)
+  double total_s = 0;       // arrival -> last token
+  double swap_wait_s = 0;   // part of ttft spent waiting for swap-in
+};
+
+// Streamed back to the client; closed after kDone/kError.
+using ResponseChannel = sim::Channel<ResponseChunk>;
+using ResponseChannelPtr = std::shared_ptr<ResponseChannel>;
+
+// What the request handler enqueues per backend (§3.1: "encapsulates the
+// inference request, response channel, and relevant metadata").
+struct QueuedRequest {
+  InferenceRequest request;
+  ResponseChannelPtr response;
+};
+
+// Final per-request outcome, as observed by callers of helpers like
+// SwapServe::ChatAndWait.
+struct ChatResult {
+  bool ok = false;
+  std::string error;
+  std::int64_t output_tokens = 0;
+  double ttft_s = 0;
+  double total_s = 0;
+  double swap_wait_s = 0;
+};
+
+}  // namespace swapserve::core

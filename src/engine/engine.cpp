@@ -1,0 +1,207 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace swapserve::engine {
+
+std::string_view EngineKindName(EngineKind k) {
+  switch (k) {
+    case EngineKind::kVllm: return "vllm";
+    case EngineKind::kOllama: return "ollama";
+    case EngineKind::kSglang: return "sglang";
+    case EngineKind::kTrtllm: return "trtllm";
+  }
+  return "?";
+}
+
+std::string EngineImageName(EngineKind k) {
+  switch (k) {
+    case EngineKind::kVllm: return "vllm/vllm-openai:v0.9.2";
+    case EngineKind::kOllama: return "ollama/ollama:v0.9.6";
+    case EngineKind::kSglang: return "lmsysorg/sglang:v0.4.9";
+    case EngineKind::kTrtllm: return "nvcr.io/nvidia/tensorrt-llm:v1.0rc0";
+  }
+  return "?";
+}
+
+std::string_view BackendStateName(BackendState s) {
+  switch (s) {
+    case BackendState::kUninitialized: return "uninitialized";
+    case BackendState::kInitializing: return "initializing";
+    case BackendState::kRunning: return "running";
+    case BackendState::kSwappedOut: return "swapped-out";
+    case BackendState::kSwapping: return "swapping";
+    case BackendState::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+InferenceEngine::InferenceEngine(EngineEnv env, model::ModelSpec model,
+                                 EngineOptions options,
+                                 std::string backend_name)
+    : env_(std::move(env)),
+      model_(std::move(model)),
+      options_(options),
+      name_(std::move(backend_name)),
+      process_(*env_.sim, name_) {
+  SWAP_CHECK(env_.sim != nullptr && env_.gpu != nullptr &&
+             env_.storage != nullptr && env_.runtime != nullptr);
+  if (!env_.tp_group.empty()) {
+    SWAP_CHECK_MSG(env_.tp_group.front() == env_.gpu,
+                   "tp_group must start with the primary GPU");
+  }
+}
+
+std::vector<hw::GpuDevice*> InferenceEngine::Gpus() const {
+  if (!env_.tp_group.empty()) return env_.tp_group;
+  return {env_.gpu};
+}
+
+Status InferenceEngine::AllocateSharded(Bytes total,
+                                        const std::string& purpose) {
+  const std::vector<hw::GpuDevice*> gpus = Gpus();
+  const auto n = static_cast<std::int64_t>(gpus.size());
+  const Bytes per_shard(total.count() / n);
+  Bytes remainder = total - per_shard * n;
+  std::vector<std::pair<hw::GpuDevice*, hw::AllocationId>> done;
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    Bytes shard = per_shard;
+    if (i == 0) shard += remainder;
+    Result<hw::AllocationId> id = gpus[i]->Allocate(name_, shard, purpose);
+    if (!id.ok()) {
+      for (auto& [dev, alloc] : done) SWAP_CHECK(dev->Free(alloc).ok());
+      return id.status();
+    }
+    done.push_back({gpus[i], *id});
+  }
+  return Status::Ok();
+}
+
+sim::Task<Result<InitBreakdown>> InferenceEngine::ColdStart() {
+  if (state_ != BackendState::kUninitialized) {
+    co_return FailedPrecondition("cold start: backend " + name_ + " is " +
+                                 std::string(BackendStateName(state_)));
+  }
+  state_ = BackendState::kInitializing;
+
+  Result<container::Container*> created =
+      env_.runtime->Create(name_, EngineImageName(kind()));
+  if (!created.ok()) {
+    state_ = BackendState::kStopped;
+    co_return created.status();
+  }
+  container_ = *created;
+
+  const sim::SimTime t0 = sim().Now();
+  Status s = co_await container_->Start();
+  if (!s.ok()) {
+    state_ = BackendState::kStopped;
+    co_return s;
+  }
+  const sim::SimDuration container_time = sim().Now() - t0;
+
+  Result<InitBreakdown> breakdown = co_await InitializeEngine();
+  if (!breakdown.ok()) {
+    state_ = BackendState::kStopped;
+    co_return breakdown.status();
+  }
+  breakdown->container_start = container_time;
+  state_ = BackendState::kRunning;
+  SWAP_LOG(kInfo, "engine")
+      << name_ << " cold start complete in "
+      << breakdown->Total().ToString() << " ("
+      << GpuResidentBytes().ToString() << " resident)";
+  co_return breakdown;
+}
+
+sim::Task<Result<GenerationResult>> InferenceEngine::Generate(
+    const GenerationRequest& req) {
+  if (state_ != BackendState::kRunning) {
+    co_return Unavailable("backend " + name_ + " is " +
+                          std::string(BackendStateName(state_)));
+  }
+  SWAP_CHECK_MSG(req.prompt_tokens > 0, "empty prompt");
+  ++active_requests_;
+  ++total_requests_;
+  const sim::SimTime start = sim().Now();
+
+  // Tensor parallelism scales compute and weight-streaming bandwidth by
+  // the group size, derated for all-reduce communication per layer.
+  const std::vector<hw::GpuDevice*> gpus = Gpus();
+  const auto tp = static_cast<double>(gpus.size());
+  const double tp_comm_derate = 1.0 + 0.12 * (tp - 1.0);
+
+  // Prefill: compute-bound. 2 * params * tokens FLOPs at a fraction of
+  // the device's dense FP16 peak.
+  const std::string kind_str(kind_name());
+  const double prefill_flops =
+      2.0 * model_.params_billion * 1e9 *
+      static_cast<double>(req.prompt_tokens);
+  const double prefill_s =
+      prefill_flops * tp_comm_derate /
+      (tp * gpu().spec().fp16_tflops * 1e12 *
+       model::EnginePrefillEfficiency(kind_str));
+  {
+    std::vector<hw::GpuDevice::BusyScope> busy;
+    busy.reserve(gpus.size());
+    for (hw::GpuDevice* dev : gpus) busy.emplace_back(*dev);
+    co_await sim().Delay(sim::Seconds(prefill_s));
+  }
+  const sim::SimDuration ttft = sim().Now() - start;
+
+  // Decode: memory-bandwidth-bound. Each step streams the (sharded)
+  // weights once; concurrent requests share the pass (continuous
+  // batching), so per-request token latency stays ~constant while
+  // aggregate throughput scales with the batch.
+  const double token_s =
+      static_cast<double>(model_.WeightBytes().count()) * tp_comm_derate /
+      (tp * gpu().spec().hbm_bandwidth.bytes_per_sec() *
+       model::EngineDecodeEfficiency(kind_str));
+  if (req.output_tokens > 0) {
+    std::vector<hw::GpuDevice::BusyScope> busy;
+    busy.reserve(gpus.size());
+    for (hw::GpuDevice* dev : gpus) busy.emplace_back(*dev);
+    co_await sim().Delay(
+        sim::Seconds(token_s * static_cast<double>(req.output_tokens)));
+  }
+
+  --active_requests_;
+  co_return GenerationResult{
+      .prompt_tokens = req.prompt_tokens,
+      .output_tokens = req.output_tokens,
+      .time_to_first_token = ttft,
+      .total_time = sim().Now() - start,
+  };
+}
+
+Status InferenceEngine::MarkSwapping() {
+  if (state_ != BackendState::kRunning &&
+      state_ != BackendState::kSwappedOut) {
+    return FailedPrecondition("swap: backend " + name_ + " is " +
+                              std::string(BackendStateName(state_)));
+  }
+  state_ = BackendState::kSwapping;
+  return Status::Ok();
+}
+
+Status InferenceEngine::MarkSwappedOut() {
+  if (state_ != BackendState::kSwapping) {
+    return FailedPrecondition("mark swapped-out: backend " + name_ + " is " +
+                              std::string(BackendStateName(state_)));
+  }
+  state_ = BackendState::kSwappedOut;
+  return Status::Ok();
+}
+
+Status InferenceEngine::MarkRunning() {
+  if (state_ != BackendState::kSwapping) {
+    return FailedPrecondition("mark running: backend " + name_ + " is " +
+                              std::string(BackendStateName(state_)));
+  }
+  state_ = BackendState::kRunning;
+  return Status::Ok();
+}
+
+}  // namespace swapserve::engine

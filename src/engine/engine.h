@@ -1,0 +1,177 @@
+// Inference-engine backend interface.
+//
+// A backend is one (engine, model) pair running in its own container — the
+// unit SwapServeLLM hot-swaps. The base class owns the container, the
+// cuda-checkpoint process handle, and the GPU allocation bookkeeping;
+// concrete engines (vLLM, Ollama, SGLang, TensorRT-LLM) supply their
+// initialization pipeline, memory policy, token-generation timing, and
+// checkpoint characteristics.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/cuda_checkpoint.h"
+#include "container/runtime.h"
+#include "hw/gpu_device.h"
+#include "hw/link.h"
+#include "model/calibration.h"
+#include "model/model_spec.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace swapserve::engine {
+
+enum class EngineKind { kVllm, kOllama, kSglang, kTrtllm };
+
+std::string_view EngineKindName(EngineKind k);   // "vllm", "ollama", ...
+std::string EngineImageName(EngineKind k);       // default container image
+
+enum class BackendState {
+  kUninitialized,  // container created, nothing started
+  kInitializing,   // cold start in progress
+  kRunning,        // serving (resident in GPU memory)
+  kSwappedOut,     // checkpointed; container paused
+  kSwapping,       // swap-in/out transition in progress
+  kStopped,
+};
+
+std::string_view BackendStateName(BackendState s);
+
+// Everything an engine needs from the simulated machine.
+struct EngineEnv {
+  sim::Simulation* sim = nullptr;
+  hw::GpuDevice* gpu = nullptr;
+  hw::StorageDevice* storage = nullptr;  // where model weights live
+  container::ContainerRuntime* runtime = nullptr;
+  // Tensor-parallel group (§6). Empty = single-GPU backend on `gpu`;
+  // otherwise must contain `gpu` as rank 0, and weights/KV shard evenly
+  // across the group.
+  std::vector<hw::GpuDevice*> tp_group;
+};
+
+struct EngineOptions {
+  // vLLM-style fraction of HBM to claim (weights + preallocated KV arena).
+  double gpu_memory_utilization = 0.9;
+  // Enable the engine's pre-checkpoint optimization (vLLM sleep mode).
+  bool sleep_mode = true;
+  // Skip torch.compile / CUDA-graph capture (vLLM eager mode; trades
+  // cold-start latency for throughput — the §2.2 tradeoff).
+  bool enforce_eager = false;
+};
+
+// Cold-start phase breakdown (Fig. 2 / Table 1 structure).
+struct InitBreakdown {
+  sim::SimDuration container_start;  // podman create+start + entrypoint
+  sim::SimDuration weight_load;
+  sim::SimDuration compile;          // torch.compile / TRT engine build
+  sim::SimDuration cuda_graphs;
+  sim::SimDuration other;            // tokenizer, KV alloc, warm-up
+
+  sim::SimDuration Total() const {
+    return container_start + weight_load + compile + cuda_graphs + other;
+  }
+};
+
+struct GenerationRequest {
+  std::int64_t prompt_tokens = 0;
+  std::int64_t output_tokens = 0;  // pre-sampled ground-truth length
+  double temperature = 0.0;        // paper sets 0 for determinism
+  std::uint64_t seed = 0;
+};
+
+struct GenerationResult {
+  std::int64_t prompt_tokens = 0;
+  std::int64_t output_tokens = 0;
+  sim::SimDuration time_to_first_token;
+  sim::SimDuration total_time;
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(EngineEnv env, model::ModelSpec model,
+                  EngineOptions options, std::string backend_name);
+  virtual ~InferenceEngine() = default;
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  virtual EngineKind kind() const = 0;
+  std::string_view kind_name() const { return EngineKindName(kind()); }
+
+  const model::ModelSpec& model() const { return model_; }
+  const std::string& name() const { return name_; }
+  BackendState state() const { return state_; }
+  container::Container* container() { return container_; }
+  ckpt::CudaCheckpointProcess& process() { return process_; }
+  const EngineOptions& options() const { return options_; }
+
+  // Create the container and run the full cold start. Valid once, from
+  // kUninitialized.
+  sim::Task<Result<InitBreakdown>> ColdStart();
+
+  // Serve one request; valid while kRunning. Concurrent calls batch.
+  sim::Task<Result<GenerationResult>> Generate(const GenerationRequest& req);
+
+  // --- hot-swap interface (driven by the engine controller) -------------
+  // GPU pages whose contents must round-trip through host RAM, vs pages a
+  // restore may simply re-reserve. Sleep-mode engines shrink the former.
+  virtual Bytes DirtyBytes() const = 0;
+  virtual Bytes CleanBytes() const = 0;
+  Bytes GpuResidentBytes() const { return DirtyBytes() + CleanBytes(); }
+
+  // Engine-specific pre-checkpoint optimization (§4.2): vLLM's sleep API
+  // discards the KV arena and pins weights, shrinking the snapshot.
+  virtual sim::Task<Status> PrepareForCheckpoint() {
+    co_return Status::Ok();
+  }
+  virtual sim::Task<Status> AfterRestore() { co_return Status::Ok(); }
+
+  // Checkpoint/restore timing characteristics for this engine on this GPU.
+  virtual model::CheckpointModel CheckpointCharacteristics() const = 0;
+  virtual model::RestoreModel RestoreCharacteristics() const = 0;
+
+  // State transitions used by the controller. MarkSwapping guards against
+  // double-swaps; the controller owns the locking discipline above this.
+  Status MarkSwapping();
+  Status MarkSwappedOut();
+  Status MarkRunning();
+
+  int active_requests() const { return active_requests_; }
+  std::uint64_t total_requests() const { return total_requests_; }
+
+  // The device group this backend occupies (size 1 unless tensor-parallel).
+  std::vector<hw::GpuDevice*> Gpus() const;
+  int tp_degree() const { return static_cast<int>(Gpus().size()); }
+
+ protected:
+  // Engine-specific initialization after the container is up. Must
+  // allocate GPU memory (owner = name()) and fill the breakdown fields
+  // other than container_start.
+  virtual sim::Task<Result<InitBreakdown>> InitializeEngine() = 0;
+
+  sim::Simulation& sim() { return *env_.sim; }
+  hw::GpuDevice& gpu() { return *env_.gpu; }
+  const hw::GpuDevice& gpu() const { return *env_.gpu; }
+  hw::StorageDevice& storage() { return *env_.storage; }
+
+  // Allocate `total` split evenly across the TP group (all-or-nothing:
+  // rolls back partial shard allocations on failure).
+  Status AllocateSharded(Bytes total, const std::string& purpose);
+
+  EngineEnv env_;
+  model::ModelSpec model_;
+  EngineOptions options_;
+  std::string name_;
+  BackendState state_ = BackendState::kUninitialized;
+  container::Container* container_ = nullptr;  // owned by the runtime
+  ckpt::CudaCheckpointProcess process_;
+
+  int active_requests_ = 0;
+  std::uint64_t total_requests_ = 0;
+};
+
+}  // namespace swapserve::engine

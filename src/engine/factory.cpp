@@ -1,0 +1,42 @@
+#include "engine/factory.h"
+
+#include <utility>
+
+#include "engine/ollama_engine.h"
+#include "engine/sglang_engine.h"
+#include "engine/trtllm_engine.h"
+#include "engine/vllm_engine.h"
+
+namespace swapserve::engine {
+
+Result<EngineKind> ParseEngineKind(std::string_view name) {
+  if (name == "vllm") return EngineKind::kVllm;
+  if (name == "ollama") return EngineKind::kOllama;
+  if (name == "sglang") return EngineKind::kSglang;
+  if (name == "trtllm" || name == "tensorrt-llm") return EngineKind::kTrtllm;
+  return InvalidArgument("unknown engine kind: " + std::string(name));
+}
+
+std::unique_ptr<InferenceEngine> CreateEngine(EngineKind kind, EngineEnv env,
+                                              model::ModelSpec model,
+                                              EngineOptions options,
+                                              std::string backend_name) {
+  switch (kind) {
+    case EngineKind::kVllm:
+      return std::make_unique<VllmEngine>(env, std::move(model), options,
+                                          std::move(backend_name));
+    case EngineKind::kOllama:
+      return std::make_unique<OllamaEngine>(env, std::move(model), options,
+                                            std::move(backend_name));
+    case EngineKind::kSglang:
+      return std::make_unique<SglangEngine>(env, std::move(model), options,
+                                            std::move(backend_name));
+    case EngineKind::kTrtllm:
+      return std::make_unique<TrtllmEngine>(env, std::move(model), options,
+                                            std::move(backend_name));
+  }
+  SWAP_CHECK_MSG(false, "unreachable engine kind");
+  __builtin_unreachable();
+}
+
+}  // namespace swapserve::engine

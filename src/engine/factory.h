@@ -1,0 +1,22 @@
+// Backend construction from engine kind + model + options.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "util/status.h"
+
+namespace swapserve::engine {
+
+Result<EngineKind> ParseEngineKind(std::string_view name);
+
+// Creates a backend named `backend_name` (must be unique per container
+// runtime). Does not start anything; call ColdStart() on the result.
+std::unique_ptr<InferenceEngine> CreateEngine(EngineKind kind, EngineEnv env,
+                                              model::ModelSpec model,
+                                              EngineOptions options,
+                                              std::string backend_name);
+
+}  // namespace swapserve::engine

@@ -1,0 +1,93 @@
+#include "hw/gpu_device.h"
+
+#include <utility>
+
+namespace swapserve::hw {
+
+GpuDevice::GpuDevice(sim::Simulation& sim, GpuId id, GpuSpec spec)
+    : sim_(sim), id_(id), spec_(std::move(spec)), used_(0) {}
+
+Result<AllocationId> GpuDevice::Allocate(const std::string& owner, Bytes size,
+                                         const std::string& purpose) {
+  SWAP_CHECK_MSG(size.count() >= 0, "negative allocation");
+  if (used_ + size > spec_.memory) {
+    return ResourceExhausted(
+        "gpu" + std::to_string(id_) + ": " + owner + " requested " +
+        size.ToString() + " (" + purpose + ") but only " +
+        (spec_.memory - used_).ToString() + " free");
+  }
+  const AllocationId id = next_allocation_id_++;
+  allocations_.emplace(id, Allocation{owner, size, purpose});
+  used_ += size;
+  return id;
+}
+
+Status GpuDevice::Free(AllocationId id) {
+  auto it = allocations_.find(id);
+  if (it == allocations_.end()) {
+    return NotFound("gpu allocation " + std::to_string(id));
+  }
+  used_ -= it->second.size;
+  allocations_.erase(it);
+  return Status::Ok();
+}
+
+Bytes GpuDevice::FreeAllOwnedBy(const std::string& owner) {
+  Bytes freed(0);
+  for (auto it = allocations_.begin(); it != allocations_.end();) {
+    if (it->second.owner == owner) {
+      freed += it->second.size;
+      it = allocations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  used_ -= freed;
+  return freed;
+}
+
+Bytes GpuDevice::UsedBy(const std::string& owner) const {
+  Bytes total(0);
+  for (const auto& [id, alloc] : allocations_) {
+    if (alloc.owner == owner) total += alloc.size;
+  }
+  return total;
+}
+
+std::vector<GpuDevice::AllocationInfo> GpuDevice::Allocations() const {
+  std::vector<AllocationInfo> out;
+  out.reserve(allocations_.size());
+  for (const auto& [id, alloc] : allocations_) {
+    out.push_back({id, alloc.owner, alloc.size, alloc.purpose});
+  }
+  return out;
+}
+
+void GpuDevice::BeginCompute() {
+  if (active_compute_ == 0) busy_since_ = sim_.Now();
+  ++active_compute_;
+}
+
+void GpuDevice::EndCompute() {
+  SWAP_CHECK_MSG(active_compute_ > 0, "EndCompute without BeginCompute");
+  --active_compute_;
+  if (active_compute_ == 0) {
+    accumulated_busy_ += sim_.Now() - busy_since_;
+  }
+}
+
+sim::SimDuration GpuDevice::TotalBusy() const {
+  sim::SimDuration total = accumulated_busy_;
+  if (active_compute_ > 0) total += sim_.Now() - busy_since_;
+  return total;
+}
+
+double GpuDevice::BusyFractionSince(sim::SimTime t0,
+                                    sim::SimDuration busy_at_t0) const {
+  const sim::SimDuration window = sim_.Now() - t0;
+  if (window.ns() <= 0) return 0.0;
+  const sim::SimDuration busy = TotalBusy() - busy_at_t0;
+  return static_cast<double>(busy.ns()) / static_cast<double>(window.ns());
+}
+
+}  // namespace swapserve::hw

@@ -1,0 +1,112 @@
+// Simulated GPU device: memory allocation tracking and busy-time accounting.
+//
+// The scheduler layer (the paper's contribution) observes a GPU through
+// exactly two signals — how much memory is allocated and how busy the SMs
+// are — so that is what this device models. Kernels themselves are not
+// simulated; engines account compute time via BusyScope around their
+// modelled generation delays.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/gpu_spec.h"
+#include "sim/simulation.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace swapserve::hw {
+
+using GpuId = int;
+using AllocationId = std::uint64_t;
+
+class GpuDevice {
+ public:
+  GpuDevice(sim::Simulation& sim, GpuId id, GpuSpec spec);
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  GpuId id() const { return id_; }
+  const GpuSpec& spec() const { return spec_; }
+  Bytes capacity() const { return spec_.memory; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return spec_.memory - used_; }
+
+  // Named device-memory allocation; fails with RESOURCE_EXHAUSTED when the
+  // request does not fit. `owner` identifies the backend (for accounting and
+  // debugging), `purpose` is a free-form tag ("weights", "kv-cache", ...).
+  Result<AllocationId> Allocate(const std::string& owner, Bytes size,
+                                const std::string& purpose);
+  Status Free(AllocationId id);
+  // Release every allocation held by `owner`; returns the bytes freed.
+  // This is what a checkpoint operation does: the driver releases all
+  // device memory of the checkpointed process at once.
+  Bytes FreeAllOwnedBy(const std::string& owner);
+
+  Bytes UsedBy(const std::string& owner) const;
+  std::size_t allocation_count() const { return allocations_.size(); }
+
+  struct AllocationInfo {
+    AllocationId id;
+    std::string owner;
+    Bytes size;
+    std::string purpose;
+  };
+  std::vector<AllocationInfo> Allocations() const;
+
+  // --- compute busy-time accounting ------------------------------------
+  // Engines wrap modelled kernel time in Begin/EndCompute (or BusyScope).
+  // Overlapping scopes count once: the device is "busy" while at least one
+  // compute stream is active, which matches how nvidia-smi utilization is
+  // defined.
+  void BeginCompute();
+  void EndCompute();
+
+  // Cumulative busy time including any currently open interval.
+  sim::SimDuration TotalBusy() const;
+  // Busy fraction in (t0, t1]; requires callers to have sampled TotalBusy
+  // at t0 themselves, so the monitor uses this convenience instead:
+  double BusyFractionSince(sim::SimTime t0,
+                           sim::SimDuration busy_at_t0) const;
+
+  int active_compute_streams() const { return active_compute_; }
+
+  class [[nodiscard]] BusyScope {
+   public:
+    explicit BusyScope(GpuDevice& gpu) : gpu_(&gpu) { gpu_->BeginCompute(); }
+    BusyScope(BusyScope&& other) noexcept
+        : gpu_(std::exchange(other.gpu_, nullptr)) {}
+    BusyScope(const BusyScope&) = delete;
+    BusyScope& operator=(const BusyScope&) = delete;
+    BusyScope& operator=(BusyScope&&) = delete;
+    ~BusyScope() {
+      if (gpu_ != nullptr) gpu_->EndCompute();
+    }
+
+   private:
+    GpuDevice* gpu_;
+  };
+
+ private:
+  struct Allocation {
+    std::string owner;
+    Bytes size;
+    std::string purpose;
+  };
+
+  sim::Simulation& sim_;
+  GpuId id_;
+  GpuSpec spec_;
+  Bytes used_;
+  AllocationId next_allocation_id_ = 1;
+  std::map<AllocationId, Allocation> allocations_;
+
+  int active_compute_ = 0;
+  sim::SimTime busy_since_;
+  sim::SimDuration accumulated_busy_;
+};
+
+}  // namespace swapserve::hw

@@ -1,0 +1,56 @@
+#include "hw/gpu_spec.h"
+
+namespace swapserve::hw {
+
+GpuSpec GpuSpec::A100Sxm4_80GB() {
+  return GpuSpec{
+      .name = "NVIDIA A100-SXM4-80GB",
+      .memory = GiB(80),
+      .hbm_bandwidth = GBps(2039),
+      // PCIe gen4 x16: ~32 GB/s theoretical; checkpoint/restore paths see
+      // roughly a third of that once driver bookkeeping is included.
+      .h2d_bandwidth = GBps(11.0),
+      .d2h_bandwidth = GBps(10.0),
+      .fp16_tflops = 312.0,
+  };
+}
+
+GpuSpec GpuSpec::H100Hbm3_80GB() {
+  return GpuSpec{
+      .name = "NVIDIA H100-HBM3-80GB",
+      .memory = GiB(80),
+      .hbm_bandwidth = GBps(3350),
+      // PCIe gen5 x16: ~64 GB/s theoretical; effective restore copy rate
+      // calibrated from the paper's Fig. 6a (DESIGN.md §4).
+      .h2d_bandwidth = GBps(13.0),
+      .d2h_bandwidth = GBps(12.0),
+      .fp16_tflops = 989.0,
+  };
+}
+
+HostSpec HostSpec::A100Host() {
+  return HostSpec{
+      .name = "Xeon Gold 6342 (12c), 1TB SSD",
+      .cpu_cores = 12,
+      .ram = GiB(512),
+      // Ollama-from-disk latencies in Fig. 5 imply ~1 GB/s effective read
+      // (mmap faults + GGUF header parsing on a SATA/older NVMe SSD).
+      .disk_read = GBps(1.0),
+      .tmpfs_read = GBps(7.0),
+      .disk_capacity = Bytes(static_cast<std::int64_t>(1e12)),
+  };
+}
+
+HostSpec HostSpec::H100Host() {
+  return HostSpec{
+      .name = "Xeon Platinum 8480 (26c), 2.8TiB NVMe",
+      .cpu_cores = 26,
+      .ram = GiB(221),
+      // Table 1 weight-load times imply ~6 GB/s effective NVMe reads.
+      .disk_read = GBps(6.0),
+      .tmpfs_read = GBps(12.0),
+      .disk_capacity = Bytes(static_cast<std::int64_t>(2.8 * (1ll << 40))),
+  };
+}
+
+}  // namespace swapserve::hw

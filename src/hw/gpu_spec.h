@@ -1,0 +1,45 @@
+// Static descriptions of the GPUs and hosts used in the paper's evaluation.
+//
+// The paper evaluates on two servers: an A100 (SXM4 80 GB, PCIe gen4 host
+// link, 1 TB SSD) and an H100 (HBM3 80 GB, PCIe gen5 host link, 2.8 TiB
+// NVMe). Bandwidth figures are *effective* end-to-end rates (driver +
+// pinning overhead included), not theoretical link maxima; they are part of
+// the calibration described in DESIGN.md §4.
+
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace swapserve::hw {
+
+struct GpuSpec {
+  std::string name;
+  Bytes memory;                  // HBM capacity
+  BytesPerSecond hbm_bandwidth;  // on-device
+  BytesPerSecond h2d_bandwidth;  // effective host-to-device copy rate
+  BytesPerSecond d2h_bandwidth;  // effective device-to-host copy rate
+  double fp16_tflops = 0.0;      // dense FP16 peak (token timing model)
+
+  // NVIDIA A100 SXM4 80 GB as in the paper's Fig. 5 server.
+  static GpuSpec A100Sxm4_80GB();
+  // NVIDIA H100 HBM3 80 GB as in the paper's Fig. 2/6 & Table 1 server.
+  static GpuSpec H100Hbm3_80GB();
+};
+
+struct HostSpec {
+  std::string name;
+  int cpu_cores = 0;
+  Bytes ram;
+  BytesPerSecond disk_read;   // effective NVMe/SSD sequential read
+  BytesPerSecond tmpfs_read;  // memory-backed filesystem read
+  Bytes disk_capacity;
+
+  // 12-core Xeon Gold 6342, 1 TB SSD (the paper's A100 host).
+  static HostSpec A100Host();
+  // 26-core Xeon Platinum 8480, 221 GB RAM, 2.8 TiB NVMe (H100 host).
+  static HostSpec H100Host();
+};
+
+}  // namespace swapserve::hw

@@ -1,0 +1,54 @@
+#include "hw/link.h"
+
+#include <utility>
+
+namespace swapserve::hw {
+
+Link::Link(sim::Simulation& sim, std::string name, BytesPerSecond bandwidth,
+           sim::SimDuration setup_latency)
+    : sim_(sim),
+      name_(std::move(name)),
+      bandwidth_(bandwidth),
+      setup_latency_(setup_latency),
+      busy_(sim) {}
+
+sim::Task<> Link::Transfer(Bytes size) {
+  ++in_flight_;
+  {
+    auto guard = co_await busy_.Acquire();  // FIFO DMA queue
+    co_await sim_.Delay(setup_latency_ + IdleTransferTime(size));
+    total_ += size;
+    ++transfers_;
+  }
+  --in_flight_;
+}
+
+sim::SimDuration Link::IdleTransferTime(Bytes size) const {
+  return sim::Seconds(bandwidth_.SecondsFor(size));
+}
+
+StorageDevice::StorageDevice(sim::Simulation& sim, std::string name,
+                             BytesPerSecond read_bandwidth,
+                             sim::SimDuration open_overhead)
+    : sim_(sim),
+      name_(name),
+      open_overhead_(open_overhead),
+      link_(sim, name + "-read", read_bandwidth) {}
+
+sim::Task<> StorageDevice::ReadFile(Bytes size) {
+  co_await sim_.Delay(open_overhead_);
+  co_await link_.Transfer(size);
+}
+
+sim::Task<> StorageDevice::ReadSharded(Bytes total_size, int shards) {
+  SWAP_CHECK_MSG(shards > 0, "shard count must be positive");
+  const Bytes per_shard(total_size.count() / shards);
+  Bytes remainder = total_size - per_shard * shards;
+  for (int i = 0; i < shards; ++i) {
+    Bytes this_shard = per_shard;
+    if (i == 0) this_shard += remainder;
+    co_await ReadFile(this_shard);
+  }
+}
+
+}  // namespace swapserve::hw

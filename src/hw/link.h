@@ -1,0 +1,77 @@
+// Shared bandwidth links: PCIe host<->device copies and storage reads.
+//
+// A Link serializes transfers FIFO (DMA engines drain one queue), charges
+// size/bandwidth per transfer plus a fixed setup latency, and accounts total
+// bytes moved. StorageDevice wraps a Link with per-open overhead modelling
+// file-system costs (dentry walks, GGUF/safetensors header parsing).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "util/units.h"
+
+namespace swapserve::hw {
+
+class Link {
+ public:
+  Link(sim::Simulation& sim, std::string name, BytesPerSecond bandwidth,
+       sim::SimDuration setup_latency = sim::SimDuration(0));
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Move `size` across the link; suspends for queueing + transfer time.
+  sim::Task<> Transfer(Bytes size);
+
+  const std::string& name() const { return name_; }
+  BytesPerSecond bandwidth() const { return bandwidth_; }
+  Bytes total_transferred() const { return total_; }
+  std::uint64_t transfer_count() const { return transfers_; }
+  // Transfers currently queued or in flight.
+  int in_flight() const { return in_flight_; }
+
+  // Pure timing query (no queueing): how long would `size` take on an idle
+  // link? Used by admission-control heuristics.
+  sim::SimDuration IdleTransferTime(Bytes size) const;
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  BytesPerSecond bandwidth_;
+  sim::SimDuration setup_latency_;
+  sim::SimMutex busy_;
+  Bytes total_{0};
+  std::uint64_t transfers_ = 0;
+  int in_flight_ = 0;
+};
+
+// A storage volume (NVMe SSD or tmpfs) with open-file overhead.
+class StorageDevice {
+ public:
+  StorageDevice(sim::Simulation& sim, std::string name,
+                BytesPerSecond read_bandwidth,
+                sim::SimDuration open_overhead);
+
+  // Read a file of `size`; one open + sequential read.
+  sim::Task<> ReadFile(Bytes size);
+  // Read a model split across `shards` files (SafeTensors-style sharding).
+  // Shards are read back-to-back on the same spindle/queue; the open
+  // overhead is paid per shard.
+  sim::Task<> ReadSharded(Bytes total_size, int shards);
+
+  const std::string& name() const { return name_; }
+  Bytes total_read() const { return link_.total_transferred(); }
+  Link& link() { return link_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::SimDuration open_overhead_;
+  Link link_;
+};
+
+}  // namespace swapserve::hw

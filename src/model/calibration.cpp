@@ -1,0 +1,156 @@
+#include "model/calibration.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace swapserve::model {
+namespace {
+
+// Paper Table 1, verbatim (seconds). Keyed by the FP16 catalog id.
+struct Table1Row {
+  double total;
+  double load;
+  double compile;
+  double cuda_graphs;
+};
+
+const std::map<std::string, Table1Row>& Table1() {
+  static const std::map<std::string, Table1Row> rows = {
+      {"deepseek-r1-14b-fp16", {82.39, 5.17, 43.18, 21.00}},
+      {"deepseek-r1-8b-fp16", {55.17, 3.05, 29.13, 17.00}},
+      {"deepseek-r1-7b-fp16", {51.03, 2.88, 26.58, 16.33}},
+      {"deepseek-r1-1.5b-fp16", {49.81, 1.01, 26.52, 16.00}},
+      {"gemma-3-27b-fp16", {160.30, 9.11, 79.67, 32.33}},
+      {"gemma-3-12b-fp16", {123.71, 4.35, 63.42, 27.00}},
+      {"gemma-3-4b-fp16", {89.26, 1.91, 47.50, 22.00}},
+      {"llama-3.1-8b-fp16", {55.41, 3.11, 29.33, 17.00}},
+      {"llama-3.2-3b-fp16", {49.41, 1.48, 26.38, 16.00}},
+      {"llama-3.2-1b-fp16", {34.14, 0.85, 16.85, 14.00}},
+  };
+  return rows;
+}
+
+}  // namespace
+
+bool HasVllmCalibration(const ModelSpec& model) {
+  return Table1().contains(model.id);
+}
+
+VllmInitPhases VllmInitModel(const ModelSpec& model,
+                             BytesPerSecond disk_read) {
+  // Weight load is physical: open overhead + bytes / effective read rate.
+  // (Table 1's Load column fits 0.4 s + bytes / 6 GB/s on the H100 host.)
+  const sim::SimDuration load =
+      sim::Seconds(0.4) +
+      sim::Seconds(disk_read.SecondsFor(model.WeightBytes()));
+
+  auto it = Table1().find(model.id);
+  if (it != Table1().end()) {
+    const Table1Row& row = it->second;
+    const double other =
+        row.total - row.load - row.compile - row.cuda_graphs;
+    return VllmInitPhases{
+        .weight_load = load,
+        .compile = sim::Seconds(row.compile),
+        .cuda_graphs = sim::Seconds(row.cuda_graphs),
+        .other = sim::Seconds(other),
+    };
+  }
+
+  // Formula fallback fitted against Table 1. Gemma's longer compile times
+  // come from its larger layer count and interleaved attention variants, so
+  // the fit uses layers as well as parameters.
+  const double p = model.params_billion;
+  const double layers = model.num_layers;
+  double compile = 10.0 + 1.55 * p + 0.35 * layers;
+  if (model.family == ModelFamily::kGemma) compile *= 1.55;
+  const double cuda_graphs = 13.0 + 0.72 * p;
+  const double other = 0.2 * (compile + cuda_graphs);
+  return VllmInitPhases{
+      .weight_load = load,
+      .compile = sim::Seconds(compile),
+      .cuda_graphs = sim::Seconds(cuda_graphs),
+      .other = sim::Seconds(other),
+  };
+}
+
+RestoreModel VllmRestoreH100() {
+  // Two-point fit to Fig. 6a. The total claim is ~72 GB at every size, so
+  // a larger model means more dirty weights and a smaller clean arena:
+  //   1B:  2.45 + 70/25 + 2.5/8.9  = 5.5 s
+  //   14B: 2.45 + 43/25 + 29.5/8.9 = 7.5 s
+  return RestoreModel{
+      .fixed = sim::Seconds(2.45),
+      .remap_bw = GBps(25.0),
+      .copy_bw = GBps(8.9),
+  };
+}
+
+RestoreModel OllamaRestoreH100() {
+  // Two-point fit to Fig. 6b (0.75 s @ 3.6 GB; 4.6 s @ 30.5 GB); all pages
+  // dirty, so remap_bw is irrelevant but kept consistent.
+  return RestoreModel{
+      .fixed = sim::Seconds(0.24),
+      .remap_bw = GBps(25.0),
+      .copy_bw = GBps(7.0),
+  };
+}
+
+RestoreModel OllamaRestoreA100() {
+  // Fig. 5's SwapServeLLM series (A100, CUDA 12.8): slightly higher copy
+  // rate than the H100 measurement (different driver generation).
+  return RestoreModel{
+      .fixed = sim::Seconds(0.45),
+      .remap_bw = GBps(22.0),
+      .copy_bw = GBps(9.5),
+  };
+}
+
+CheckpointModel DefaultCheckpointH100() {
+  return CheckpointModel{
+      .fixed = sim::Seconds(0.35),
+      .d2h_bw = GBps(12.0),
+  };
+}
+
+CheckpointModel DefaultCheckpointA100() {
+  return CheckpointModel{
+      .fixed = sim::Seconds(0.4),
+      .d2h_bw = GBps(10.0),
+  };
+}
+
+Bytes OllamaResidentBytes(const ModelSpec& model) {
+  // weights + 1.1 GB fixed (CUDA context, compute buffers, default KV).
+  // Matches Fig. 6b's 3.6 GB (LLaMA-3.2-1B) / 30.5 GB (DS-R1-14B)
+  // endpoints to within ~0.15 GB.
+  const double weights_gb = model.WeightBytes().AsGB();
+  return GB(weights_gb + 1.1);
+}
+
+sim::SimDuration OllamaModelInitFixed() {
+  // Runner process spawn (~0.7 s) + GGUF header parse / context setup
+  // (~0.7 s); fits the floor of Fig. 5's memory-backed loading times.
+  return sim::Seconds(1.4);
+}
+
+double VllmDefaultGpuMemoryUtilization() { return 0.9; }
+
+double EngineDecodeEfficiency(const std::string& engine_kind) {
+  if (engine_kind == "vllm") return 0.60;
+  if (engine_kind == "sglang") return 0.58;
+  if (engine_kind == "trtllm") return 0.66;
+  if (engine_kind == "ollama") return 0.33;
+  return 0.5;
+}
+
+double EnginePrefillEfficiency(const std::string& engine_kind) {
+  if (engine_kind == "vllm") return 0.55;
+  if (engine_kind == "sglang") return 0.52;
+  if (engine_kind == "trtllm") return 0.60;
+  if (engine_kind == "ollama") return 0.30;
+  return 0.45;
+}
+
+}  // namespace swapserve::model

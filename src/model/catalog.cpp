@@ -1,0 +1,127 @@
+#include "model/catalog.h"
+
+#include <utility>
+
+namespace swapserve::model {
+namespace {
+
+std::string QuantSuffix(Quantization q) {
+  switch (q) {
+    case Quantization::kQ4: return "q4";
+    case Quantization::kQ8: return "q8";
+    case Quantization::kFP8: return "fp8";
+    case Quantization::kFP16: return "fp16";
+  }
+  return "?";
+}
+
+ModelSpec Make(const std::string& base_id, std::string display_base,
+               ModelFamily family, double params_billion, int layers,
+               Quantization quant, int context = 8192) {
+  ModelSpec spec;
+  spec.id = base_id + "-" + QuantSuffix(quant);
+  spec.display_name =
+      std::move(display_base) + " " + std::string(QuantizationName(quant));
+  spec.family = family;
+  spec.params_billion = params_billion;
+  spec.quant = quant;
+  spec.num_layers = layers;
+  spec.context_length = context;
+  return spec;
+}
+
+}  // namespace
+
+ModelCatalog ModelCatalog::Default() {
+  ModelCatalog cat;
+  auto add = [&cat](ModelSpec spec) { SWAP_CHECK(cat.Add(std::move(spec)).ok()); };
+
+  // DeepSeek-R1 distillations (Fig. 5 evaluates all three quant levels).
+  struct DsSize {
+    const char* tag;
+    const char* display;
+    double params;
+    int layers;
+  };
+  for (const DsSize& s : {DsSize{"1.5b", "DeepSeek-R1 1.5B", 1.78, 28},
+                          DsSize{"7b", "DeepSeek-R1 7B", 7.62, 28},
+                          DsSize{"8b", "DeepSeek-R1 8B", 8.03, 32},
+                          DsSize{"14b", "DeepSeek-R1 14B", 14.77, 48}}) {
+    for (Quantization q :
+         {Quantization::kQ4, Quantization::kQ8, Quantization::kFP16}) {
+      add(Make(std::string("deepseek-r1-") + s.tag, s.display,
+               ModelFamily::kDeepSeekR1, s.params, s.layers, q, 131072));
+    }
+  }
+
+  // Gemma-3 (Table 1).
+  add(Make("gemma-3-4b", "Gemma-3 4B", ModelFamily::kGemma, 4.30, 34,
+           Quantization::kFP16, 131072));
+  add(Make("gemma-3-12b", "Gemma-3 12B", ModelFamily::kGemma, 12.19, 48,
+           Quantization::kFP16, 131072));
+  add(Make("gemma-3-27b", "Gemma-3 27B", ModelFamily::kGemma, 27.43, 62,
+           Quantization::kFP16, 131072));
+  // Gemma 7B (the §3.4 swap example: ~16 GB resident).
+  add(Make("gemma-7b", "Gemma 7B", ModelFamily::kGemma, 8.54, 28,
+           Quantization::kFP16));
+
+  // LLaMA 3.x (Table 1, Figs. 2/6; 3.3-70B-FP8 is the §3.4 example).
+  for (Quantization q :
+       {Quantization::kQ4, Quantization::kQ8, Quantization::kFP16}) {
+    add(Make("llama-3.2-1b", "LLaMA 3.2 1B", ModelFamily::kLlama, 1.24, 16,
+             q, 131072));
+    add(Make("llama-3.2-3b", "LLaMA 3.2 3B", ModelFamily::kLlama, 3.21, 28,
+             q, 131072));
+    add(Make("llama-3.1-8b", "LLaMA 3.1 8B", ModelFamily::kLlama, 8.03, 32,
+             q, 131072));
+  }
+  add(Make("llama-3.3-70b", "LLaMA 3.3 70B", ModelFamily::kLlama, 70.55, 80,
+           Quantization::kFP8, 131072));
+
+  // DeepSeek-Coder 6.7B (the other §3.4 swap example: ~14 GB resident).
+  add(Make("deepseek-coder-6.7b", "DeepSeek-Coder 6.7B",
+           ModelFamily::kDeepSeekCoder, 6.74, 32, Quantization::kFP16,
+           16384));
+  return cat;
+}
+
+Status ModelCatalog::Add(ModelSpec spec) {
+  if (spec.id.empty()) return InvalidArgument("model id empty");
+  if (spec.params_billion <= 0) {
+    return InvalidArgument("model " + spec.id + ": parameter count not set");
+  }
+  auto [it, inserted] = models_.emplace(spec.id, std::move(spec));
+  if (!inserted) return AlreadyExists("model " + it->first);
+  return Status::Ok();
+}
+
+Result<ModelSpec> ModelCatalog::Find(const std::string& id) const {
+  auto it = models_.find(id);
+  if (it == models_.end()) return NotFound("model " + id);
+  return it->second;
+}
+
+std::vector<ModelSpec> ModelCatalog::All() const {
+  std::vector<ModelSpec> out;
+  out.reserve(models_.size());
+  for (const auto& [id, spec] : models_) out.push_back(spec);
+  return out;
+}
+
+std::vector<ModelSpec> ModelCatalog::ByFamily(ModelFamily family) const {
+  std::vector<ModelSpec> out;
+  for (const auto& [id, spec] : models_) {
+    if (spec.family == family) out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<ModelSpec> ModelCatalog::ByQuantization(Quantization quant) const {
+  std::vector<ModelSpec> out;
+  for (const auto& [id, spec] : models_) {
+    if (spec.quant == quant) out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace swapserve::model

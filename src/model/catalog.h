@@ -1,0 +1,38 @@
+// The model catalog: every model the paper mentions, with true parameter
+// counts (marketing sizes round heavily: "DeepSeek-R1 1.5B" is the 1.78 B
+// parameter Qwen distillation).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "util/status.h"
+
+namespace swapserve::model {
+
+class ModelCatalog {
+ public:
+  // Catalog preloaded with the paper's evaluation set:
+  //   DeepSeek-R1 1.5/7/8/14B (Q4, Q8, FP16), Gemma-3 4/12/27B,
+  //   LLaMA 3.2 1B/3B, 3.1 8B, 3.3 70B FP8, Gemma 7B,
+  //   DeepSeek-Coder 6.7B.
+  static ModelCatalog Default();
+
+  Status Add(ModelSpec spec);
+  Result<ModelSpec> Find(const std::string& id) const;
+  bool Contains(const std::string& id) const { return models_.contains(id); }
+  std::vector<ModelSpec> All() const;
+  std::size_t size() const { return models_.size(); }
+
+  // Convenience filters for benchmark sweeps.
+  std::vector<ModelSpec> ByFamily(ModelFamily family) const;
+  std::vector<ModelSpec> ByQuantization(Quantization quant) const;
+
+ private:
+  std::map<std::string, ModelSpec> models_;
+};
+
+}  // namespace swapserve::model

@@ -1,0 +1,46 @@
+#include "model/model_spec.h"
+
+#include <cmath>
+
+namespace swapserve::model {
+
+std::string_view QuantizationName(Quantization q) {
+  switch (q) {
+    case Quantization::kQ4: return "Q4";
+    case Quantization::kQ8: return "Q8";
+    case Quantization::kFP8: return "FP8";
+    case Quantization::kFP16: return "FP16";
+  }
+  return "?";
+}
+
+double BytesPerParam(Quantization q) {
+  switch (q) {
+    case Quantization::kQ4: return 0.5625;   // 4.5 bits
+    case Quantization::kQ8: return 1.0625;   // 8.5 bits
+    case Quantization::kFP8: return 1.0;
+    case Quantization::kFP16: return 2.0;
+  }
+  return 2.0;
+}
+
+std::string_view ModelFamilyName(ModelFamily f) {
+  switch (f) {
+    case ModelFamily::kLlama: return "LLaMA";
+    case ModelFamily::kDeepSeekR1: return "DeepSeek-R1";
+    case ModelFamily::kDeepSeekCoder: return "DeepSeek-Coder";
+    case ModelFamily::kGemma: return "Gemma";
+  }
+  return "?";
+}
+
+Bytes ModelSpec::WeightBytes() const {
+  return GB(params_billion * BytesPerParam(quant));
+}
+
+int ModelSpec::ShardCount() const {
+  const double gb = WeightBytes().AsGB();
+  return gb <= 5.0 ? 1 : static_cast<int>(std::ceil(gb / 5.0));
+}
+
+}  // namespace swapserve::model

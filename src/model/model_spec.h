@@ -1,0 +1,51 @@
+// Model descriptions: families, sizes, quantization, and derived memory
+// footprints for the LLaMA / DeepSeek-R1 / Gemma models the paper evaluates.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace swapserve::model {
+
+enum class Quantization {
+  kQ4,    // GGUF Q4_K_M, ~4.5 bits/param
+  kQ8,    // GGUF Q8_0, ~8.5 bits/param
+  kFP8,   // 8-bit float
+  kFP16,  // half precision
+};
+
+std::string_view QuantizationName(Quantization q);
+// Effective bytes per parameter including quantization block overhead.
+double BytesPerParam(Quantization q);
+
+enum class ModelFamily {
+  kLlama,
+  kDeepSeekR1,      // R1 distillations (Qwen/Llama bases)
+  kDeepSeekCoder,
+  kGemma,
+};
+
+std::string_view ModelFamilyName(ModelFamily f);
+
+struct ModelSpec {
+  std::string id;            // stable key, e.g. "deepseek-r1-14b-fp16"
+  std::string display_name;  // paper-style name, e.g. "DeepSeek-R1 14B FP16"
+  ModelFamily family = ModelFamily::kLlama;
+  // True parameter count (the marketing size differs: "1.5B" is 1.78B).
+  double params_billion = 0.0;
+  Quantization quant = Quantization::kFP16;
+  int context_length = 8192;
+  int num_layers = 32;
+
+  // Weight bytes on disk and resident in GPU memory.
+  Bytes WeightBytes() const;
+  // GGUF / safetensors shard count (~5 GB per shard).
+  int ShardCount() const;
+
+  bool operator==(const ModelSpec& other) const { return id == other.id; }
+};
+
+}  // namespace swapserve::model

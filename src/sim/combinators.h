@@ -1,0 +1,49 @@
+// Task combinators.
+//
+// WhenAll runs tasks concurrently and resumes when every one has finished —
+// the virtual-time analogue of joining goroutines. Tasks must not leak
+// exceptions (an unhandled error in a detached branch terminates, as with
+// Spawn).
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace swapserve::sim {
+
+inline Task<> WhenAll(Simulation& sim, std::vector<Task<>> tasks) {
+  if (tasks.empty()) co_return;
+  SimEvent done(sim);
+  std::size_t remaining = tasks.size();
+  for (Task<>& t : tasks) {
+    // The branch closure (and the task it owns) lives in the driver frame;
+    // `done`/`remaining` live in this frame, which outlives all branches
+    // because we block on the event below.
+    Spawn([&done, &remaining, task = std::move(t)]() mutable -> Task<> {
+      co_await std::move(task);
+      if (--remaining == 0) done.Set();
+    });
+  }
+  co_await done.Wait();
+}
+
+// A Delay as a first-class task, for use with WhenAll (models a pipeline
+// stage that takes a fixed time, e.g. a DMA copy overlapped with a read).
+inline Task<> DelayFor(Simulation& sim, SimDuration d) {
+  co_await sim.Delay(d);
+}
+
+// Two-task convenience overload.
+inline Task<> WhenAll(Simulation& sim, Task<> a, Task<> b) {
+  std::vector<Task<>> tasks;
+  tasks.push_back(std::move(a));
+  tasks.push_back(std::move(b));
+  co_await WhenAll(sim, std::move(tasks));
+}
+
+}  // namespace swapserve::sim

@@ -1,0 +1,51 @@
+// Deterministic, platform-independent pseudo-randomness.
+//
+// std::* distributions are implementation-defined, which would make traces
+// differ across standard libraries; workload generation therefore uses a
+// xoshiro256++ generator with hand-rolled distributions so a seed fully
+// determines every experiment on every platform.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swapserve::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+  bool Bernoulli(double p);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+  // Standard normal via Box-Muller (cached spare).
+  double Normal(double mean, double stddev);
+  // exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+  // Pareto with scale x_m and shape alpha (heavy-tailed lengths).
+  double Pareto(double x_min, double alpha);
+  // Poisson-distributed count (Knuth for small mean, normal approx above).
+  std::int64_t Poisson(double mean);
+  // Sample an index according to non-negative weights (must not all be 0).
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Derive an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace swapserve::sim

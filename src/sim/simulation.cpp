@@ -1,0 +1,43 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace swapserve::sim {
+
+void Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
+  SWAP_CHECK_MSG(delay.ns() >= 0, "cannot schedule into the past");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime at, std::function<void()> fn) {
+  SWAP_CHECK_MSG(at >= now_, "cannot schedule before Now()");
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulation::Run() {
+  while (!events_.empty()) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Simulation::RunUntil(SimTime deadline) {
+  while (!events_.empty() && events_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace swapserve::sim

@@ -1,0 +1,96 @@
+// The discrete-event executor.
+//
+// A Simulation owns a virtual clock and a min-heap of scheduled callbacks.
+// Coroutines advance time only by awaiting Delay()/ WaitUntil(); running code
+// takes zero virtual time. Events scheduled for the same instant fire in
+// scheduling order (a monotonically increasing sequence number breaks ties),
+// so runs are fully deterministic.
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace swapserve::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedule `fn` to run at Now() + delay (delay must be >= 0).
+  void Schedule(SimDuration delay, std::function<void()> fn);
+  void ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Run until the event queue is empty. Returns the final virtual time.
+  SimTime Run();
+  // Run until the queue is empty or virtual time would pass `deadline`;
+  // the clock is left at min(deadline, completion time).
+  SimTime RunUntil(SimTime deadline);
+
+  bool HasPendingEvents() const { return !events_.empty(); }
+  std::uint64_t processed_events() const { return processed_; }
+
+  // --- awaitables -----------------------------------------------------
+
+  struct DelayAwaiter {
+    Simulation* sim;
+    SimDuration delay;
+    bool await_ready() const noexcept { return delay.ns() <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->Schedule(delay, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Suspend the current coroutine for `delay` of virtual time.
+  DelayAwaiter Delay(SimDuration delay) { return DelayAwaiter{this, delay}; }
+  // Suspend until the absolute virtual time `at` (no-op if in the past).
+  DelayAwaiter WaitUntil(SimTime at) {
+    return DelayAwaiter{this, at - now_};
+  }
+
+  // Resume `h` at the current virtual time, after already-queued events.
+  // Synchronization primitives use this to keep wakeup order deterministic
+  // and stacks shallow.
+  void Post(std::coroutine_handle<> h) {
+    Schedule(SimDuration(0), [h] { h.resume(); });
+  }
+
+  // Convenience: spawn a detached process.
+  void Go(Task<> task) { Spawn(std::move(task)); }
+  template <typename F>
+    requires std::is_invocable_r_v<Task<>, F&>
+  void Go(F fn) {
+    Spawn(std::move(fn));
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+};
+
+}  // namespace swapserve::sim

@@ -1,0 +1,341 @@
+// Coroutine synchronization primitives for the simulator.
+//
+// All primitives are strictly FIFO: waiters are granted in arrival order and
+// woken through Simulation::Post so wakeups interleave deterministically
+// with timer events. Being single-threaded, none of this needs atomics; the
+// locks here guard invariants *across co_await suspension points*, which is
+// exactly the race the paper's write-locking of eviction candidates (§3.5)
+// exists to prevent.
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "sim/simulation.h"
+#include "util/status.h"
+
+namespace swapserve::sim {
+
+// Mutual exclusion across suspension points. Non-recursive.
+class SimMutex {
+ public:
+  explicit SimMutex(Simulation& sim) : sim_(&sim) {}
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  // RAII ownership of the mutex; released on destruction.
+  class [[nodiscard]] Guard {
+   public:
+    Guard() = default;
+    explicit Guard(SimMutex* m) : mutex_(m) {}
+    Guard(Guard&& other) noexcept
+        : mutex_(std::exchange(other.mutex_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        mutex_ = std::exchange(other.mutex_, nullptr);
+      }
+      return *this;
+    }
+    ~Guard() { Release(); }
+
+    bool owns_lock() const { return mutex_ != nullptr; }
+    void Release() {
+      if (mutex_ != nullptr) std::exchange(mutex_, nullptr)->Unlock();
+    }
+
+   private:
+    SimMutex* mutex_ = nullptr;
+  };
+
+  struct [[nodiscard]] Awaiter {
+    SimMutex* mutex;
+    bool await_ready() {
+      if (!mutex->locked_) {
+        mutex->locked_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      mutex->waiters_.push_back(h);
+    }
+    Guard await_resume() { return Guard(mutex); }
+  };
+
+  // co_await mutex.Acquire() -> Guard
+  Awaiter Acquire() { return Awaiter{this}; }
+
+  bool locked() const { return locked_; }
+  bool TryAcquireNow(Guard& out) {
+    if (locked_) return false;
+    locked_ = true;
+    out = Guard(this);
+    return true;
+  }
+
+ private:
+  friend struct Awaiter;
+  void Unlock() {
+    SWAP_CHECK_MSG(locked_, "unlock of unlocked SimMutex");
+    if (!waiters_.empty()) {
+      // Ownership transfers to the first waiter; locked_ stays true.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->Post(h);
+    } else {
+      locked_ = false;
+    }
+  }
+
+  Simulation* sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Counting semaphore with multi-unit acquire. Strict FIFO: a large request
+// at the head blocks smaller requests behind it (no starvation).
+class SimSemaphore {
+ public:
+  SimSemaphore(Simulation& sim, std::int64_t initial)
+      : sim_(&sim), available_(initial) {
+    SWAP_CHECK_MSG(initial >= 0, "negative semaphore count");
+  }
+  SimSemaphore(const SimSemaphore&) = delete;
+  SimSemaphore& operator=(const SimSemaphore&) = delete;
+
+  struct [[nodiscard]] Awaiter {
+    SimSemaphore* sem;
+    std::int64_t units;
+    bool await_ready() {
+      if (sem->waiters_.empty() && sem->available_ >= units) {
+        sem->available_ -= units;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem->waiters_.push_back({h, units});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter Acquire(std::int64_t units = 1) {
+    SWAP_CHECK_MSG(units >= 0, "negative acquire");
+    return Awaiter{this, units};
+  }
+
+  void Release(std::int64_t units = 1) {
+    SWAP_CHECK_MSG(units >= 0, "negative release");
+    available_ += units;
+    Drain();
+  }
+
+  std::int64_t available() const { return available_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  friend struct Awaiter;
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::int64_t units;
+  };
+
+  void Drain() {
+    while (!waiters_.empty() && available_ >= waiters_.front().units) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w.units;
+      sim_->Post(w.handle);
+    }
+  }
+
+  Simulation* sim_;
+  std::int64_t available_;
+  std::deque<Waiter> waiters_;
+};
+
+// Reader-writer lock with strict FIFO fairness: a queued writer blocks
+// later readers (no writer starvation), matching the paper's §3.5
+// write-locking of eviction candidates — request forwarding holds shared
+// access, a swap operation takes exclusive access and thereby waits for
+// in-flight requests to drain.
+class SimRwLock {
+ public:
+  explicit SimRwLock(Simulation& sim) : sim_(&sim) {}
+  SimRwLock(const SimRwLock&) = delete;
+  SimRwLock& operator=(const SimRwLock&) = delete;
+
+  class [[nodiscard]] SharedGuard {
+   public:
+    SharedGuard() = default;
+    explicit SharedGuard(SimRwLock* l) : lock_(l) {}
+    SharedGuard(SharedGuard&& o) noexcept
+        : lock_(std::exchange(o.lock_, nullptr)) {}
+    SharedGuard& operator=(SharedGuard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        lock_ = std::exchange(o.lock_, nullptr);
+      }
+      return *this;
+    }
+    ~SharedGuard() { Release(); }
+    void Release() {
+      if (lock_ != nullptr) std::exchange(lock_, nullptr)->UnlockShared();
+    }
+    bool owns_lock() const { return lock_ != nullptr; }
+
+   private:
+    SimRwLock* lock_ = nullptr;
+  };
+
+  class [[nodiscard]] ExclusiveGuard {
+   public:
+    ExclusiveGuard() = default;
+    explicit ExclusiveGuard(SimRwLock* l) : lock_(l) {}
+    ExclusiveGuard(ExclusiveGuard&& o) noexcept
+        : lock_(std::exchange(o.lock_, nullptr)) {}
+    ExclusiveGuard& operator=(ExclusiveGuard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        lock_ = std::exchange(o.lock_, nullptr);
+      }
+      return *this;
+    }
+    ~ExclusiveGuard() { Release(); }
+    void Release() {
+      if (lock_ != nullptr) std::exchange(lock_, nullptr)->UnlockExclusive();
+    }
+    bool owns_lock() const { return lock_ != nullptr; }
+
+   private:
+    SimRwLock* lock_ = nullptr;
+  };
+
+  struct [[nodiscard]] SharedAwaiter {
+    SimRwLock* lock;
+    bool await_ready() {
+      if (!lock->writer_active_ && lock->waiters_.empty()) {
+        ++lock->readers_active_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      lock->waiters_.push_back({h, /*writer=*/false});
+    }
+    SharedGuard await_resume() { return SharedGuard(lock); }
+  };
+
+  struct [[nodiscard]] ExclusiveAwaiter {
+    SimRwLock* lock;
+    bool await_ready() {
+      if (!lock->writer_active_ && lock->readers_active_ == 0 &&
+          lock->waiters_.empty()) {
+        lock->writer_active_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      lock->waiters_.push_back({h, /*writer=*/true});
+    }
+    ExclusiveGuard await_resume() { return ExclusiveGuard(lock); }
+  };
+
+  SharedAwaiter AcquireShared() { return SharedAwaiter{this}; }
+  ExclusiveAwaiter AcquireExclusive() { return ExclusiveAwaiter{this}; }
+
+  bool write_locked() const { return writer_active_; }
+  int readers() const { return readers_active_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  friend struct SharedAwaiter;
+  friend struct ExclusiveAwaiter;
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool writer;
+  };
+
+  void UnlockShared() {
+    SWAP_CHECK_MSG(readers_active_ > 0, "unlock-shared without readers");
+    --readers_active_;
+    Drain();
+  }
+  void UnlockExclusive() {
+    SWAP_CHECK_MSG(writer_active_, "unlock-exclusive without writer");
+    writer_active_ = false;
+    Drain();
+  }
+  void Drain() {
+    // Strict FIFO: grant a leading writer alone, or a run of readers up to
+    // the next queued writer.
+    while (!waiters_.empty()) {
+      const Waiter& front = waiters_.front();
+      if (front.writer) {
+        if (writer_active_ || readers_active_ > 0) break;
+        writer_active_ = true;
+        sim_->Post(front.handle);
+        waiters_.pop_front();
+        break;
+      }
+      if (writer_active_) break;
+      ++readers_active_;
+      sim_->Post(front.handle);
+      waiters_.pop_front();
+    }
+  }
+
+  Simulation* sim_;
+  bool writer_active_ = false;
+  int readers_active_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+// Manual-reset event. Wait() completes immediately while set.
+class SimEvent {
+ public:
+  explicit SimEvent(Simulation& sim) : sim_(&sim) {}
+  SimEvent(const SimEvent&) = delete;
+  SimEvent& operator=(const SimEvent&) = delete;
+
+  struct [[nodiscard]] Awaiter {
+    SimEvent* event;
+    bool await_ready() const { return event->set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      event->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter Wait() { return Awaiter{this}; }
+
+  void Set() {
+    set_ = true;
+    WakeAll();
+  }
+  void Reset() { set_ = false; }
+  bool is_set() const { return set_; }
+
+  // Wake current waiters without latching the set state (condition-variable
+  // style notify_all; waiters must re-check their predicate).
+  void Pulse() { WakeAll(); }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  void WakeAll() {
+    for (auto h : waiters_) sim_->Post(h);
+    waiters_.clear();
+  }
+
+  Simulation* sim_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace swapserve::sim

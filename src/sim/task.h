@@ -1,0 +1,176 @@
+// Lazy coroutine task type for the discrete-event simulator.
+//
+// Task<T> is the unit of cooperative concurrency: simulated components are
+// written as ordinary coroutines that co_await timers, channels, and each
+// other. Tasks are lazy (started when first awaited) and single-awaiter.
+// Detached root tasks are launched with Spawn() and self-destruct on
+// completion; exceptions escaping a detached task terminate the program,
+// matching the Core Guidelines stance that an unhandled error in a detached
+// activity is a programming error.
+//
+// Everything here is single-threaded by design: the simulator owns the only
+// thread, so no atomics are needed and resumption order is deterministic.
+
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.h"
+
+namespace swapserve::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    // Symmetric transfer to whoever awaited us, or stop if detached.
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;  // start the lazy coroutine now
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    SWAP_CHECK_MSG(p.value.has_value(), "task finished without a value");
+    return std::move(*p.value);
+  }
+
+ private:
+  friend class TaskRunner;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+// Eager, self-destroying driver for detached tasks.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() {
+      // A detached simulation process must handle its own errors.
+      std::terminate();
+    }
+  };
+};
+
+}  // namespace detail
+
+// Launch a task as an independent simulation process. The task's frame is
+// owned by the driver coroutine and destroyed when the task completes.
+//
+// LIFETIME: a coroutine is a member function of its closure/object, so the
+// object it was invoked on must outlive every suspension. Passing
+// `Spawn(lambda_temporary())` would dangle; use the callable overload below,
+// which moves the callable into the driver frame before invoking it.
+inline void Spawn(Task<> task) {
+  [](Task<> t) -> detail::Detached { co_await std::move(t); }(std::move(task));
+}
+
+// Preferred spawn form for lambdas: the callable is kept alive in the driver
+// coroutine's frame for the task's whole lifetime.
+template <typename F>
+  requires std::is_invocable_r_v<Task<>, F&>
+void Spawn(F fn) {
+  [](F f) -> detail::Detached { co_await f(); }(std::move(fn));
+}
+
+}  // namespace swapserve::sim

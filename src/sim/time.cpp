@@ -1,0 +1,27 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace swapserve::sim {
+
+std::string SimDuration::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds());
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimDuration d) {
+  return os << d.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ToString();
+}
+
+}  // namespace swapserve::sim

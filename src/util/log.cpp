@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace swapserve {
+namespace {
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarning: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  std::ostream& os = std::clog;
+  if (timestamp_fn_) os << timestamp_fn_() << " ";
+  os << LevelName(level) << " [" << component << "] " << message << "\n";
+}
+
+}  // namespace swapserve

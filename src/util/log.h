@@ -1,0 +1,69 @@
+// Minimal leveled logger.
+//
+// The simulator installs a time source so log lines carry virtual time.
+// Logging is stream-based and compiled in at all levels; the level filter is
+// a runtime knob so tests can raise verbosity for a single case.
+
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace swapserve {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarning, kError };
+
+class Logger {
+ public:
+  static Logger& Global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Installed by the simulation so messages are stamped with virtual time.
+  // Returns a formatted timestamp like "[  12.500s]".
+  using TimestampFn = std::function<std::string()>;
+  void set_timestamp_fn(TimestampFn fn) { timestamp_fn_ = std::move(fn); }
+  void clear_timestamp_fn() { timestamp_fn_ = nullptr; }
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+  void Write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+  TimestampFn timestamp_fn_;
+};
+
+// Usage: SWAP_LOG(kInfo, "scheduler") << "swap-in " << model;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() {
+    if (Logger::Global().Enabled(level_)) {
+      Logger::Global().Write(level_, component_, stream_.str());
+    }
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (Logger::Global().Enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+#define SWAP_LOG(level, component) \
+  ::swapserve::LogMessage(::swapserve::LogLevel::level, (component))
+
+}  // namespace swapserve

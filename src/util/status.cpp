@@ -1,0 +1,48 @@
+#include "util/status.h"
+
+#include <iostream>
+
+namespace swapserve {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+void CheckFailed(std::string_view expr, std::string_view msg,
+                 const std::source_location& loc) {
+  std::cerr << "CHECK failed: " << expr;
+  if (!msg.empty()) std::cerr << " (" << msg << ")";
+  std::cerr << " at " << loc.file_name() << ":" << loc.line() << " in "
+            << loc.function_name() << std::endl;
+  std::abort();
+}
+
+}  // namespace swapserve

@@ -1,0 +1,202 @@
+// Lightweight Status / Result types used across the library.
+//
+// Error handling follows the C++ Core Guidelines advice for recoverable
+// errors in systems code: operations that can fail for reasons the caller
+// must handle return Status or Result<T>; programming errors use SWAP_CHECK
+// (which terminates). Exceptions are reserved for the coroutine plumbing in
+// src/sim where they propagate through Task<T>.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <ostream>
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace swapserve {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
+  kCancelled,
+  kAborted,
+  kInternal,
+  kUnimplemented,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+inline Status InvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status Cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
+inline Status Aborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(value_).ok()) {
+      std::cerr << "Result<T> constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result<T>::value() on error: "
+                << std::get<Status>(value_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> value_;
+};
+
+// Fatal assertion for invariants (programming errors, not runtime errors).
+[[noreturn]] void CheckFailed(std::string_view expr, std::string_view msg,
+                              const std::source_location& loc);
+
+#define SWAP_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::swapserve::CheckFailed(#expr, "", std::source_location::current());   \
+    }                                                                         \
+  } while (false)
+
+#define SWAP_CHECK_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::swapserve::CheckFailed(#expr, (msg), std::source_location::current());\
+    }                                                                         \
+  } while (false)
+
+// Propagate a non-OK Status from the current function.
+#define SWAP_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::swapserve::Status swap_status_ = (expr);      \
+    if (!swap_status_.ok()) return swap_status_;    \
+  } while (false)
+
+#define SWAP_CONCAT_INNER(a, b) a##b
+#define SWAP_CONCAT(a, b) SWAP_CONCAT_INNER(a, b)
+
+// Assign the value of a Result<T> expression or propagate its error.
+#define SWAP_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto SWAP_CONCAT(swap_result_, __LINE__) = (expr);                \
+  if (!SWAP_CONCAT(swap_result_, __LINE__).ok())                    \
+    return SWAP_CONCAT(swap_result_, __LINE__).status();            \
+  lhs = std::move(SWAP_CONCAT(swap_result_, __LINE__)).value()
+
+// Coroutine variants (a plain `return` is ill-formed in a coroutine body).
+#define SWAP_CO_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::swapserve::Status swap_status_ = (expr);         \
+    if (!swap_status_.ok()) co_return swap_status_;    \
+  } while (false)
+
+#define SWAP_CO_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto SWAP_CONCAT(swap_result_, __LINE__) = (expr);                \
+  if (!SWAP_CONCAT(swap_result_, __LINE__).ok())                    \
+    co_return SWAP_CONCAT(swap_result_, __LINE__).status();         \
+  lhs = std::move(SWAP_CONCAT(swap_result_, __LINE__)).value()
+
+}  // namespace swapserve

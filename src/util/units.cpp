@@ -1,0 +1,29 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace swapserve {
+
+std::string Bytes::ToString() const {
+  char buf[64];
+  const double abs = std::fabs(static_cast<double>(count_));
+  if (abs >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", AsGiB());
+  } else if (abs >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", AsMiB());
+  } else if (abs >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(count_) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B",
+                  static_cast<long long>(count_));
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) {
+  return os << b.ToString();
+}
+
+}  // namespace swapserve

@@ -1,0 +1,99 @@
+// Strongly-typed byte counts and bandwidths.
+//
+// Hardware modelling code mixes capacities (GiB), transfer sizes (GB) and
+// bandwidths (GB/s); using raw integers invites unit mistakes, so sizes are
+// carried in a thin Bytes wrapper and bandwidths in BytesPerSecond.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace swapserve {
+
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  constexpr std::int64_t count() const { return count_; }
+  constexpr double AsGiB() const {
+    return static_cast<double>(count_) / (1024.0 * 1024.0 * 1024.0);
+  }
+  constexpr double AsGB() const { return static_cast<double>(count_) / 1e9; }
+  constexpr double AsMiB() const {
+    return static_cast<double>(count_) / (1024.0 * 1024.0);
+  }
+
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.count_ + b.count_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.count_ - b.count_);
+  }
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) {
+    return Bytes(a.count_ * k);
+  }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) { return a * k; }
+
+  // Human-readable rendering, e.g. "28.0 GiB".
+  std::string ToString() const;
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+constexpr Bytes KiB(double n) {
+  return Bytes(static_cast<std::int64_t>(n * 1024.0));
+}
+constexpr Bytes MiB(double n) {
+  return Bytes(static_cast<std::int64_t>(n * 1024.0 * 1024.0));
+}
+constexpr Bytes GiB(double n) {
+  return Bytes(static_cast<std::int64_t>(n * 1024.0 * 1024.0 * 1024.0));
+}
+constexpr Bytes GB(double n) {
+  return Bytes(static_cast<std::int64_t>(n * 1e9));
+}
+constexpr Bytes MB(double n) {
+  return Bytes(static_cast<std::int64_t>(n * 1e6));
+}
+
+class BytesPerSecond {
+ public:
+  constexpr BytesPerSecond() = default;
+  constexpr explicit BytesPerSecond(double bytes_per_sec)
+      : value_(bytes_per_sec) {}
+
+  constexpr double bytes_per_sec() const { return value_; }
+  constexpr double AsGBps() const { return value_ / 1e9; }
+
+  // Seconds required to move `size` at this bandwidth.
+  constexpr double SecondsFor(Bytes size) const {
+    return value_ > 0 ? static_cast<double>(size.count()) / value_ : 0.0;
+  }
+
+  friend constexpr auto operator<=>(BytesPerSecond, BytesPerSecond) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr BytesPerSecond GBps(double n) { return BytesPerSecond(n * 1e9); }
+constexpr BytesPerSecond MBps(double n) { return BytesPerSecond(n * 1e6); }
+
+std::ostream& operator<<(std::ostream& os, Bytes b);
+
+}  // namespace swapserve

@@ -1,0 +1,83 @@
+// Request arrival processes.
+//
+// Fig. 1 and Fig. 3 need realistic arrival shapes: Poisson for steady load,
+// a two-state MMPP for the bursts the introduction motivates, and a
+// diurnal rate curve matching the Azure traces' weekday/business-hours
+// pattern. Non-homogeneous sampling uses thinning, so any RateCurve works.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace swapserve::workload {
+
+// Time-varying arrival rate in requests/second; t is seconds since the
+// trace start (t=0 is midnight Monday).
+class RateCurve {
+ public:
+  virtual ~RateCurve() = default;
+  virtual double RateAt(double t_seconds) const = 0;
+  // A bound used by thinning; must satisfy RateAt(t) <= MaxRate() for all t.
+  virtual double MaxRate() const = 0;
+};
+
+class ConstantRate final : public RateCurve {
+ public:
+  explicit ConstantRate(double rps) : rps_(rps) {}
+  double RateAt(double) const override { return rps_; }
+  double MaxRate() const override { return rps_; }
+
+ private:
+  double rps_;
+};
+
+// Weekly diurnal pattern: per-weekday scale x hour-of-day shape.
+// Two presets mirror Fig. 1's workload classes.
+class DiurnalRate final : public RateCurve {
+ public:
+  DiurnalRate(double base_rps, std::vector<double> hour_shape,
+              std::vector<double> day_scale);
+
+  // Business-hours-peaked weekday curve (programming assistants).
+  static DiurnalRate CodingPreset(double base_rps);
+  // Flatter daytime curve with an evening peak, active weekends (chat).
+  static DiurnalRate ConversationalPreset(double base_rps);
+
+  double RateAt(double t_seconds) const override;
+  double MaxRate() const override;
+
+ private:
+  double base_rps_;
+  std::vector<double> hour_shape_;  // 24 entries
+  std::vector<double> day_scale_;   // 7 entries, [0]=Monday
+};
+
+// Two-state Markov-modulated Poisson process: long quiet periods broken by
+// bursts — the §1 "unpredictable bursts of inference requests".
+class MmppRate final : public RateCurve {
+ public:
+  // Alternates exponential-length quiet/burst dwell periods. The switch
+  // times are pre-sampled from `seed` so RateAt is a deterministic
+  // function of time (required for thinning).
+  MmppRate(double quiet_rps, double burst_rps, double mean_quiet_s,
+           double mean_burst_s, std::uint64_t seed, double horizon_s);
+
+  double RateAt(double t_seconds) const override;
+  double MaxRate() const override { return burst_rps_; }
+  bool InBurst(double t_seconds) const;
+
+ private:
+  double quiet_rps_;
+  double burst_rps_;
+  std::vector<double> switch_times_;  // alternating quiet->burst->quiet...
+};
+
+// Sample arrival times on [0, horizon) for an arbitrary rate curve
+// (thinning / Ogata's algorithm). Deterministic in `rng`.
+std::vector<double> SampleArrivals(const RateCurve& rate, double horizon_s,
+                                   sim::Rng& rng);
+
+}  // namespace swapserve::workload

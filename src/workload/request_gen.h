@@ -1,0 +1,52 @@
+// Token-length samplers for request generation.
+//
+// The paper's Fig. 1 contrasts two workload classes with opposite
+// input/output shapes: Coding (large contexts, short completions —
+// compute-intensive prefill) and Conversational (short prompts, long
+// generations — memory-bound decode). Lengths are lognormal with
+// heavy-tailed tails clipped to the model context.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.h"
+
+namespace swapserve::workload {
+
+struct TokenSample {
+  std::int64_t prompt_tokens = 0;
+  std::int64_t output_tokens = 0;
+};
+
+class RequestProfile {
+ public:
+  // Lognormal parameters are given as (median, sigma) per side.
+  RequestProfile(std::string name, double prompt_median, double prompt_sigma,
+                 double output_median, double output_sigma,
+                 std::int64_t max_tokens);
+
+  // Coding: ~2000-token contexts, ~150-token completions.
+  static RequestProfile Coding();
+  // Conversational: ~220-token prompts, ~480-token replies.
+  static RequestProfile Conversational();
+  // Short Q&A (used by examples).
+  static RequestProfile ShortQa();
+
+  TokenSample Sample(sim::Rng& rng) const;
+  const std::string& name() const { return name_; }
+
+  double mean_prompt_tokens() const;
+  double mean_output_tokens() const;
+
+ private:
+  std::string name_;
+  double prompt_mu_;
+  double prompt_sigma_;
+  double output_mu_;
+  double output_sigma_;
+  std::int64_t max_tokens_;
+};
+
+}  // namespace swapserve::workload

@@ -1,0 +1,55 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace swapserve::workload {
+
+std::vector<TraceEvent> GenerateTrace(const std::vector<ModelWorkload>& mix,
+                                      double horizon_s, std::uint64_t seed) {
+  SWAP_CHECK_MSG(!mix.empty(), "empty workload mix");
+  sim::Rng root(seed);
+  std::vector<TraceEvent> trace;
+  for (const ModelWorkload& w : mix) {
+    SWAP_CHECK_MSG(w.rate != nullptr && w.profile != nullptr,
+                   "workload missing rate/profile");
+    sim::Rng arrivals_rng = root.Fork();
+    sim::Rng lengths_rng = root.Fork();
+    for (double t : SampleArrivals(*w.rate, horizon_s, arrivals_rng)) {
+      const TokenSample tokens = w.profile->Sample(lengths_rng);
+      trace.push_back(TraceEvent{
+          .time_s = t,
+          .model_id = w.model_id,
+          .prompt_tokens = tokens.prompt_tokens,
+          .output_tokens = tokens.output_tokens,
+      });
+    }
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return trace;
+}
+
+std::vector<HourBucket> HourlyTokenVolume(
+    const std::vector<TraceEvent>& trace, double horizon_s) {
+  const auto n_hours =
+      static_cast<std::size_t>(std::ceil(horizon_s / 3600.0));
+  std::vector<HourBucket> buckets(n_hours);
+  for (std::size_t i = 0; i < n_hours; ++i) {
+    buckets[i].hour_start_s = static_cast<double>(i) * 3600.0;
+  }
+  for (const TraceEvent& ev : trace) {
+    const auto idx = static_cast<std::size_t>(ev.time_s / 3600.0);
+    if (idx >= n_hours) continue;
+    ++buckets[idx].requests;
+    buckets[idx].input_tokens += ev.prompt_tokens;
+    buckets[idx].output_tokens += ev.output_tokens;
+  }
+  return buckets;
+}
+
+}  // namespace swapserve::workload

@@ -1,0 +1,107 @@
+#include "baseline/coldstart.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline_env.h"
+
+namespace swapserve::baseline {
+namespace {
+
+using testing::BaselineBed;
+
+TEST(ColdStartServingTest, FirstRequestPaysFullColdStart) {
+  BaselineBed bed;
+  ColdStartServing serving(bed.sim, *bed.gpus[0], bed.storage, bed.runtime,
+                           engine::EngineKind::kOllama, sim::Minutes(5));
+  serving.RegisterModel(bed.catalog.Find("llama-3.1-8b-fp16").value());
+  core::ChatResult first;
+  core::ChatResult second;
+  bed.Run([&]() -> sim::Task<> {
+    first = co_await serving.Chat("llama-3.1-8b-fp16", 64, 16);
+    second = co_await serving.Chat("llama-3.1-8b-fp16", 64, 16);
+  });
+  ASSERT_TRUE(first.ok) << first.error;
+  // Fig. 2: Ollama 8B cold start is several seconds.
+  EXPECT_GT(first.swap_wait_s, 3.0);
+  EXPECT_EQ(second.swap_wait_s, 0.0);  // still warm
+  EXPECT_EQ(serving.cold_starts(), 1u);
+}
+
+TEST(ColdStartServingTest, IdleEngineReaped) {
+  BaselineBed bed;
+  ColdStartServing serving(bed.sim, *bed.gpus[0], bed.storage, bed.runtime,
+                           engine::EngineKind::kOllama, sim::Minutes(5));
+  serving.RegisterModel(bed.catalog.Find("llama-3.2-1b-fp16").value());
+  bed.Run([&]() -> sim::Task<> {
+    (void)co_await serving.Chat("llama-3.2-1b-fp16", 16, 8);
+    EXPECT_TRUE(serving.IsWarm("llama-3.2-1b-fp16"));
+    co_await bed.sim.Delay(sim::Minutes(6));
+    co_await serving.ReapIdle();
+    EXPECT_FALSE(serving.IsWarm("llama-3.2-1b-fp16"));
+    EXPECT_EQ(bed.gpus[0]->used().count(), 0);
+  });
+  EXPECT_EQ(serving.teardowns(), 1u);
+}
+
+TEST(ColdStartServingTest, ReapRespectsKeepalive) {
+  BaselineBed bed;
+  ColdStartServing serving(bed.sim, *bed.gpus[0], bed.storage, bed.runtime,
+                           engine::EngineKind::kOllama, sim::Minutes(5));
+  serving.RegisterModel(bed.catalog.Find("llama-3.2-1b-fp16").value());
+  bed.Run([&]() -> sim::Task<> {
+    (void)co_await serving.Chat("llama-3.2-1b-fp16", 16, 8);
+    co_await bed.sim.Delay(sim::Minutes(2));
+    co_await serving.ReapIdle();
+    EXPECT_TRUE(serving.IsWarm("llama-3.2-1b-fp16"));  // under keepalive
+  });
+}
+
+TEST(ColdStartServingTest, EvictsLruToMakeRoom) {
+  BaselineBed bed;
+  // vLLM engines claim ~72 GiB, so two can never be warm together.
+  ColdStartServing serving(bed.sim, *bed.gpus[0], bed.storage, bed.runtime,
+                           engine::EngineKind::kVllm, sim::Hours(1));
+  serving.RegisterModel(bed.catalog.Find("llama-3.2-1b-fp16").value());
+  serving.RegisterModel(bed.catalog.Find("llama-3.2-3b-fp16").value());
+  bed.Run([&]() -> sim::Task<> {
+    core::ChatResult a = co_await serving.Chat("llama-3.2-1b-fp16", 16, 8);
+    EXPECT_TRUE(a.ok) << a.error;
+    core::ChatResult b = co_await serving.Chat("llama-3.2-3b-fp16", 16, 8);
+    EXPECT_TRUE(b.ok) << b.error;
+    EXPECT_FALSE(serving.IsWarm("llama-3.2-1b-fp16"));  // evicted
+    EXPECT_TRUE(serving.IsWarm("llama-3.2-3b-fp16"));
+  });
+  EXPECT_EQ(serving.cold_starts(), 2u);
+  EXPECT_EQ(serving.teardowns(), 1u);
+}
+
+TEST(ColdStartServingTest, RewarmPaysColdStartAgain) {
+  BaselineBed bed;
+  ColdStartServing serving(bed.sim, *bed.gpus[0], bed.storage, bed.runtime,
+                           engine::EngineKind::kOllama, sim::Minutes(1));
+  serving.RegisterModel(bed.catalog.Find("llama-3.2-1b-fp16").value());
+  bed.Run([&]() -> sim::Task<> {
+    (void)co_await serving.Chat("llama-3.2-1b-fp16", 16, 8);
+    co_await bed.sim.Delay(sim::Minutes(2));
+    co_await serving.ReapIdle();
+    core::ChatResult again =
+        co_await serving.Chat("llama-3.2-1b-fp16", 16, 8);
+    EXPECT_TRUE(again.ok);
+    EXPECT_GT(again.swap_wait_s, 1.0);  // full cold start again
+  });
+  EXPECT_EQ(serving.cold_starts(), 2u);
+}
+
+TEST(ColdStartServingTest, UnregisteredModelErrors) {
+  BaselineBed bed;
+  ColdStartServing serving(bed.sim, *bed.gpus[0], bed.storage, bed.runtime,
+                           engine::EngineKind::kOllama, sim::Minutes(5));
+  core::ChatResult r;
+  bed.Run([&]() -> sim::Task<> {
+    r = co_await serving.Chat("ghost", 8, 8);
+  });
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace swapserve::baseline

@@ -1,0 +1,77 @@
+#include "ckpt/cuda_checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+
+namespace swapserve::ckpt {
+namespace {
+
+class CudaCheckpointTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  CudaCheckpointProcess proc{sim, "backend-a"};
+
+  template <typename F>
+  void Run(F body) {
+    sim::Spawn(std::move(body));
+    sim.Run();
+  }
+};
+
+TEST_F(CudaCheckpointTest, FullCycle) {
+  Run([&]() -> sim::Task<> {
+    EXPECT_EQ(proc.state(), CudaCheckpointState::kRunning);
+    EXPECT_TRUE((co_await proc.Lock(sim::Millis(50))).ok());
+    EXPECT_EQ(proc.state(), CudaCheckpointState::kLocked);
+    EXPECT_TRUE(proc.MarkCheckpointed().ok());
+    EXPECT_EQ(proc.state(), CudaCheckpointState::kCheckpointed);
+    EXPECT_TRUE(proc.MarkRestored().ok());
+    EXPECT_EQ(proc.state(), CudaCheckpointState::kLocked);
+    EXPECT_TRUE((co_await proc.Unlock()).ok());
+    EXPECT_EQ(proc.state(), CudaCheckpointState::kRunning);
+  });
+}
+
+TEST_F(CudaCheckpointTest, LockDrainsForGivenTime) {
+  Run([&]() -> sim::Task<> {
+    const sim::SimTime t0 = sim.Now();
+    EXPECT_TRUE((co_await proc.Lock(sim::Millis(80))).ok());
+    EXPECT_DOUBLE_EQ((sim.Now() - t0).ToMillis(), 80.0);
+  });
+}
+
+TEST_F(CudaCheckpointTest, IllegalTransitionsRejected) {
+  Run([&]() -> sim::Task<> {
+    // checkpoint while running
+    EXPECT_EQ(proc.MarkCheckpointed().code(),
+              StatusCode::kFailedPrecondition);
+    // restore while running
+    EXPECT_EQ(proc.MarkRestored().code(), StatusCode::kFailedPrecondition);
+    // unlock while running
+    EXPECT_EQ((co_await proc.Unlock()).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_TRUE((co_await proc.Lock(sim::Millis(1))).ok());
+    // double lock
+    EXPECT_EQ((co_await proc.Lock(sim::Millis(1))).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(proc.MarkCheckpointed().ok());
+    // unlock while checkpointed
+    EXPECT_EQ((co_await proc.Unlock()).code(),
+              StatusCode::kFailedPrecondition);
+    // double checkpoint
+    EXPECT_EQ(proc.MarkCheckpointed().code(),
+              StatusCode::kFailedPrecondition);
+  });
+}
+
+TEST_F(CudaCheckpointTest, StateNames) {
+  EXPECT_EQ(CudaCheckpointStateName(CudaCheckpointState::kRunning),
+            "running");
+  EXPECT_EQ(CudaCheckpointStateName(CudaCheckpointState::kLocked), "locked");
+  EXPECT_EQ(CudaCheckpointStateName(CudaCheckpointState::kCheckpointed),
+            "checkpointed");
+}
+
+}  // namespace
+}  // namespace swapserve::ckpt

@@ -1,0 +1,182 @@
+// Admin API (explicit swap control, status, CSV export) and idle reaper.
+
+#include "core/admin.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/idle_reaper.h"
+#include "core/swap_serve.h"
+#include "fixture.h"
+
+namespace swapserve::core {
+namespace {
+
+using testing::TestBed;
+
+TEST(AdminApiTest, ExplicitSwapInWarmsBackend) {
+  TestBed bed;
+  SwapServe serve(bed.sim,
+                  bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}}),
+                  bed.catalog, bed.hardware());
+  ChatResult r;
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    // Warm the backend explicitly (e.g. ahead of a known traffic spike).
+    EXPECT_TRUE((co_await serve.admin().SwapIn("llama-3.2-1b-fp16")).ok());
+    EXPECT_EQ(serve.backend("llama-3.2-1b-fp16")->engine->state(),
+              engine::BackendState::kRunning);
+    // The next request is then served resident — no swap wait.
+    r = co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+    serve.Shutdown();
+  });
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.swap_wait_s, 0.0);
+}
+
+TEST(AdminApiTest, ExplicitSwapOutParksBackend) {
+  TestBed bed;
+  SwapServe serve(bed.sim,
+                  bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}}),
+                  bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    (void)co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+    EXPECT_EQ(serve.backend("llama-3.2-1b-fp16")->engine->state(),
+              engine::BackendState::kRunning);
+    EXPECT_TRUE((co_await serve.admin().SwapOut("llama-3.2-1b-fp16")).ok());
+    EXPECT_EQ(serve.backend("llama-3.2-1b-fp16")->engine->state(),
+              engine::BackendState::kSwappedOut);
+    EXPECT_EQ(bed.gpus[0]->used().count(), 0);
+    serve.Shutdown();
+  });
+}
+
+TEST(AdminApiTest, UnknownModelRejected) {
+  TestBed bed;
+  SwapServe serve(bed.sim,
+                  bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}}),
+                  bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    EXPECT_EQ((co_await serve.admin().SwapIn("ghost")).code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ((co_await serve.admin().SwapOut("ghost")).code(),
+              StatusCode::kNotFound);
+    serve.Shutdown();
+  });
+}
+
+TEST(AdminApiTest, SystemStatusReflectsState) {
+  TestBed bed;
+  SwapServe serve(bed.sim, bed.MakeConfig({
+                      {"llama-3.2-1b-fp16", "ollama"},
+                      {"deepseek-r1-7b-fp16", "ollama"},
+                  }),
+                  bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    (void)co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+    json::Value status = serve.admin().SystemStatus();
+    EXPECT_EQ(status.GetInt("swap_ins", -1), 1);
+    EXPECT_EQ(status.GetString("preemption_policy", ""), "demand-aware");
+    const auto& backends = status.Find("backends")->AsArray();
+    EXPECT_EQ(backends.size(), 2u);
+    for (const json::Value& b : backends) {
+      const std::string model = b.GetString("model", "");
+      const std::string state = b.GetString("state", "");
+      if (model == "llama-3.2-1b-fp16") {
+        EXPECT_EQ(state, "running");
+        EXPECT_GT(b.GetDouble("resident_gib", 0), 0.0);
+      } else {
+        EXPECT_EQ(state, "swapped-out");
+        EXPECT_EQ(b.GetDouble("resident_gib", -1), 0.0);
+      }
+    }
+    serve.Shutdown();
+  });
+}
+
+TEST(AdminApiTest, MetricsCsvHasRowPerModel) {
+  TestBed bed;
+  SwapServe serve(bed.sim, bed.MakeConfig({
+                      {"llama-3.2-1b-fp16", "ollama"},
+                      {"deepseek-r1-7b-fp16", "ollama"},
+                  }),
+                  bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    (void)co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+    (void)co_await serve.ChatAndWait("deepseek-r1-7b-fp16", 32, 8);
+    serve.Shutdown();
+  });
+  std::ostringstream csv;
+  serve.admin().WriteMetricsCsv(csv);
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("model,completed,rejected"), std::string::npos);
+  EXPECT_NE(out.find("llama-3.2-1b-fp16,1,"), std::string::npos);
+  EXPECT_NE(out.find("deepseek-r1-7b-fp16,1,"), std::string::npos);
+}
+
+TEST(IdleReaperTest, ParksIdleBackendAfterThreshold) {
+  TestBed bed;
+  Config cfg = bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}});
+  cfg.global.idle_swap_out_s = 60;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    (void)co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+    EXPECT_EQ(serve.backend("llama-3.2-1b-fp16")->engine->state(),
+              engine::BackendState::kRunning);
+    co_await bed.sim.Delay(sim::Seconds(90));
+    EXPECT_EQ(serve.backend("llama-3.2-1b-fp16")->engine->state(),
+              engine::BackendState::kSwappedOut);
+    EXPECT_EQ(bed.gpus[0]->used().count(), 0);
+    // Requests still work afterwards (swap back in).
+    ChatResult r = co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+    EXPECT_TRUE(r.ok);
+    EXPECT_GT(r.swap_wait_s, 0.0);
+    serve.Shutdown();
+  });
+}
+
+TEST(IdleReaperTest, BusyBackendNotParked) {
+  TestBed bed;
+  Config cfg = bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}});
+  cfg.global.idle_swap_out_s = 30;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    // Keep issuing requests every 10 s: never idle long enough.
+    for (int i = 0; i < 12; ++i) {
+      ChatResult r = co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+      EXPECT_TRUE(r.ok);
+      co_await bed.sim.Delay(sim::Seconds(10));
+    }
+    EXPECT_EQ(serve.backend("llama-3.2-1b-fp16")->engine->state(),
+              engine::BackendState::kRunning);
+    serve.Shutdown();
+  });
+  // Exactly the initial swap-in; the reaper never intervened.
+  EXPECT_EQ(serve.metrics().swap_ins, 1u);
+}
+
+TEST(IdleReaperTest, DisabledByDefault) {
+  TestBed bed;
+  SwapServe serve(bed.sim,
+                  bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}}),
+                  bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    (void)co_await serve.ChatAndWait("llama-3.2-1b-fp16", 32, 8);
+    co_await bed.sim.Delay(sim::Hours(2));
+    // Stays resident forever without the reaper or memory pressure.
+    EXPECT_EQ(serve.backend("llama-3.2-1b-fp16")->engine->state(),
+              engine::BackendState::kRunning);
+    serve.Shutdown();
+  });
+}
+
+}  // namespace
+}  // namespace swapserve::core

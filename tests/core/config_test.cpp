@@ -1,0 +1,164 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace swapserve::core {
+namespace {
+
+const char* kFullConfig = R"({
+  "global": {
+    "response_timeout_s": 60,
+    "kv_cache_type": "fp8",
+    "auth_token": "tok",
+    "queue_capacity": 32,
+    "snapshot_budget_gib": 128,
+    "monitor_interval_s": 5
+  },
+  "models": [
+    {
+      "model": "llama-3.2-1b-fp16",
+      "engine": "vllm",
+      "gpu_memory_utilization": 0.85,
+      "init_timeout_s": 300,
+      "sleep_mode": false,
+      "gpu": 1
+    },
+    {"model": "deepseek-r1-7b-fp16", "engine": "ollama"}
+  ]
+})";
+
+TEST(ConfigTest, ParsesFullDocument) {
+  auto cfg = Config::FromJsonText(kFullConfig);
+  ASSERT_TRUE(cfg.ok()) << cfg.status();
+  EXPECT_DOUBLE_EQ(cfg->global.response_timeout_s, 60);
+  EXPECT_EQ(cfg->global.kv_cache_type, "fp8");
+  EXPECT_EQ(cfg->global.auth_token, "tok");
+  EXPECT_EQ(cfg->global.queue_capacity, 32u);
+  EXPECT_DOUBLE_EQ(cfg->global.snapshot_budget_gib, 128);
+  ASSERT_EQ(cfg->models.size(), 2u);
+  EXPECT_EQ(cfg->models[0].model_id, "llama-3.2-1b-fp16");
+  EXPECT_EQ(cfg->models[0].engine, "vllm");
+  EXPECT_DOUBLE_EQ(cfg->models[0].gpu_memory_utilization, 0.85);
+  EXPECT_FALSE(cfg->models[0].sleep_mode);
+  EXPECT_EQ(cfg->models[0].gpu, 1);
+  // Defaults for the second entry.
+  EXPECT_EQ(cfg->models[1].engine, "ollama");
+  EXPECT_TRUE(cfg->models[1].sleep_mode);
+  EXPECT_EQ(cfg->models[1].gpu, 0);
+}
+
+TEST(ConfigTest, DefaultsWhenGlobalOmitted) {
+  auto cfg = Config::FromJsonText(
+      R"({"models": [{"model": "llama-3.2-1b-fp16"}]})");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_DOUBLE_EQ(cfg->global.response_timeout_s, 120.0);
+  EXPECT_EQ(cfg->models[0].engine, "vllm");  // default engine
+}
+
+TEST(ConfigTest, ParseErrors) {
+  EXPECT_FALSE(Config::FromJsonText("[]").ok());
+  EXPECT_FALSE(Config::FromJsonText("{}").ok());  // no models
+  EXPECT_FALSE(Config::FromJsonText(R"({"models": {}})").ok());
+  EXPECT_FALSE(Config::FromJsonText(R"({"models": [42]})").ok());
+  EXPECT_FALSE(
+      Config::FromJsonText(R"({"models": [{"engine": "vllm"}]})").ok());
+  EXPECT_FALSE(
+      Config::FromJsonText(R"({"global": 3, "models": [{"model":"m"}]})")
+          .ok());
+}
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  model::ModelCatalog catalog = model::ModelCatalog::Default();
+
+  Config Valid() {
+    Config cfg;
+    ModelEntry m;
+    m.model_id = "llama-3.2-1b-fp16";
+    m.engine = "vllm";
+    cfg.models.push_back(m);
+    return cfg;
+  }
+};
+
+TEST_F(ValidateTest, ValidPasses) {
+  EXPECT_TRUE(Valid().Validate(catalog, 1).ok());
+}
+
+TEST_F(ValidateTest, RejectsEmptyModels) {
+  Config cfg;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+}
+
+TEST_F(ValidateTest, RejectsUnknownModel) {
+  Config cfg = Valid();
+  cfg.models[0].model_id = "ghost";
+  EXPECT_EQ(cfg.Validate(catalog, 1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ValidateTest, RejectsUnknownEngine) {
+  Config cfg = Valid();
+  cfg.models[0].engine = "hal9000";
+  EXPECT_EQ(cfg.Validate(catalog, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ValidateTest, RejectsDuplicates) {
+  Config cfg = Valid();
+  cfg.models.push_back(cfg.models[0]);
+  EXPECT_EQ(cfg.Validate(catalog, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ValidateTest, RejectsBadGpuMemoryUtilization) {
+  for (double bad : {0.0, -0.5, 1.5}) {
+    Config cfg = Valid();
+    cfg.models[0].gpu_memory_utilization = bad;
+    EXPECT_FALSE(cfg.Validate(catalog, 1).ok()) << bad;
+  }
+}
+
+TEST_F(ValidateTest, RejectsOutOfRangeGpu) {
+  Config cfg = Valid();
+  cfg.models[0].gpu = 2;
+  EXPECT_FALSE(cfg.Validate(catalog, 2).ok());
+  cfg.models[0].gpu = 1;
+  EXPECT_TRUE(cfg.Validate(catalog, 2).ok());
+  cfg.models[0].gpu = -1;
+  EXPECT_FALSE(cfg.Validate(catalog, 2).ok());
+}
+
+TEST_F(ValidateTest, RejectsBadGlobals) {
+  Config cfg = Valid();
+  cfg.global.response_timeout_s = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg = Valid();
+  cfg.global.queue_capacity = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg = Valid();
+  cfg.global.snapshot_budget_gib = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg = Valid();
+  cfg.models[0].init_timeout_s = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+}
+
+TEST(MetricsTest, Aggregations) {
+  Metrics m;
+  m.ForModel("a").completed = 3;
+  m.ForModel("a").rejected = 1;
+  m.ForModel("a").failed = 2;
+  m.ForModel("a").expired = 1;
+  m.ForModel("a").ttft_s.Add(1.0);
+  m.ForModel("b").completed = 4;
+  m.ForModel("b").ttft_s.Add(3.0);
+  EXPECT_EQ(m.TotalCompleted(), 7u);
+  EXPECT_EQ(m.TotalRejected(), 1u);
+  EXPECT_EQ(m.TotalFailed(), 3u);
+  Samples all = m.AllTtft();
+  EXPECT_EQ(all.count(), 2u);
+  EXPECT_DOUBLE_EQ(all.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace swapserve::core

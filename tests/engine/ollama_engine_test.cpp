@@ -1,0 +1,137 @@
+#include "engine/ollama_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_env.h"
+#include "model/calibration.h"
+
+namespace swapserve::engine {
+namespace {
+
+using testing::EngineBed;
+
+TEST(OllamaEngineTest, ColdStartIsFast) {
+  EngineBed bed;
+  OllamaEngine eng(bed.env(), bed.catalog.Find("llama-3.1-8b-fp16").value(),
+                   EngineOptions{}, "ollama-8b");
+  bed.Run([&]() -> sim::Task<> {
+    Result<InitBreakdown> init = co_await eng.ColdStart();
+    EXPECT_TRUE(init.ok());
+    // Paper Fig. 2: ~4.4 s for 8B; our calibration lands within ~2 s.
+    EXPECT_LT(init->Total().ToSeconds(), 8.0);
+    EXPECT_EQ(init->compile.ns(), 0);       // no torch.compile
+    EXPECT_EQ(init->cuda_graphs.ns(), 0);   // no graph capture
+  });
+}
+
+TEST(OllamaEngineTest, ResidentBytesMatchCalibration) {
+  EngineBed bed;
+  model::ModelSpec spec = bed.catalog.Find("deepseek-r1-14b-fp16").value();
+  OllamaEngine eng(bed.env(), spec, EngineOptions{}, "ollama-14b");
+  bed.Run([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await eng.ColdStart()).ok());
+  });
+  EXPECT_EQ(bed.gpu.used(), model::OllamaResidentBytes(spec));
+  EXPECT_EQ(eng.DirtyBytes(), model::OllamaResidentBytes(spec));
+  EXPECT_EQ(eng.CleanBytes(), Bytes(0));  // no sleep-mode equivalent
+}
+
+TEST(OllamaEngineTest, UnloadAndReloadModel) {
+  EngineBed bed;
+  OllamaEngine eng(bed.env(), bed.catalog.Find("llama-3.2-1b-fp16").value(),
+                   EngineOptions{}, "ollama-1b");
+  bed.Run([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await eng.ColdStart()).ok());
+    EXPECT_TRUE(eng.model_loaded());
+
+    EXPECT_TRUE((co_await eng.UnloadModel()).ok());
+    EXPECT_FALSE(eng.model_loaded());
+    EXPECT_EQ(bed.gpu.used(), Bytes(0));
+    EXPECT_EQ(eng.DirtyBytes(), Bytes(0));
+
+    const sim::SimTime t0 = bed.sim.Now();
+    EXPECT_TRUE((co_await eng.LoadModel()).ok());
+    EXPECT_TRUE(eng.model_loaded());
+    EXPECT_GT(bed.gpu.used(), Bytes(0));
+    // Reload pays fixed init + pipelined transfer.
+    EXPECT_GT((bed.sim.Now() - t0).ToSeconds(), 1.4);
+  });
+}
+
+TEST(OllamaEngineTest, UnloadIdempotentAndGuarded) {
+  EngineBed bed;
+  OllamaEngine eng(bed.env(), bed.catalog.Find("llama-3.2-1b-fp16").value(),
+                   EngineOptions{}, "ollama-guard");
+  bed.Run([&]() -> sim::Task<> {
+    // Unload before cold start: engine not running.
+    EXPECT_EQ((co_await eng.UnloadModel()).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_TRUE((co_await eng.ColdStart()).ok());
+    EXPECT_TRUE((co_await eng.UnloadModel()).ok());
+    EXPECT_TRUE((co_await eng.UnloadModel()).ok());  // idempotent
+    EXPECT_TRUE((co_await eng.LoadModel()).ok());
+    EXPECT_TRUE((co_await eng.LoadModel()).ok());    // idempotent
+  });
+}
+
+TEST(OllamaEngineTest, LoadTimePipelinesDiskAndH2d) {
+  // With a slow disk (1 GB/s) the transfer is disk-bound; with a fast
+  // tmpfs-like source it becomes H2D-bound.
+  model::ModelCatalog catalog = model::ModelCatalog::Default();
+  model::ModelSpec spec = catalog.Find("llama-3.1-8b-fp16").value();
+
+  auto measure = [&](BytesPerSecond read_bw) {
+    EngineBed bed;
+    hw::StorageDevice slow(bed.sim, "src", read_bw, sim::Seconds(0.05));
+    EngineEnv env = bed.env();
+    env.storage = &slow;
+    OllamaEngine eng(env, spec, EngineOptions{}, "ollama-pipeline");
+    double total = 0;
+    bed.Run([&]() -> sim::Task<> {
+      const sim::SimTime t0 = bed.sim.Now();
+      EXPECT_TRUE((co_await eng.ColdStart()).ok());
+      total = (bed.sim.Now() - t0).ToSeconds();
+    });
+    return total;
+  };
+
+  const double disk_bound = measure(GBps(1));
+  const double h2d_bound = measure(GBps(100));
+  // 16 GB at 1 GB/s ~ 16 s vs at H2D 13 GB/s ~ 1.2 s.
+  EXPECT_GT(disk_bound, h2d_bound + 10.0);
+  EXPECT_LT(h2d_bound, 6.0);
+}
+
+TEST(OllamaEngineTest, GenerateSlowerThanVllmPerToken) {
+  // The Red Hat benchmark gap: same model, same GPU, fewer tokens/s.
+  EngineBed bed;
+  model::ModelSpec spec = bed.catalog.Find("llama-3.2-1b-fp16").value();
+  OllamaEngine eng(bed.env(), spec, EngineOptions{}, "ollama-slow");
+  double decode_s = 0;
+  bed.Run([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await eng.ColdStart()).ok());
+    Result<GenerationResult> r = co_await eng.Generate(
+        GenerationRequest{.prompt_tokens = 64, .output_tokens = 100});
+    EXPECT_TRUE(r.ok());
+    decode_s = (r->total_time - r->time_to_first_token).ToSeconds();
+  });
+  const double ollama_per_token = decode_s / 100.0;
+  // vLLM effective decode efficiency 0.6 vs Ollama 0.33 -> ~1.8x slower.
+  const double vllm_per_token =
+      spec.WeightBytes().AsGB() / (3350.0 * 0.6);
+  EXPECT_GT(ollama_per_token, vllm_per_token * 1.5);
+}
+
+TEST(OllamaEngineTest, RestoreCharacteristicsDependOnGpu) {
+  EngineBed h100(hw::GpuSpec::H100Hbm3_80GB());
+  EngineBed a100(hw::GpuSpec::A100Sxm4_80GB());
+  model::ModelSpec spec =
+      h100.catalog.Find("llama-3.2-1b-fp16").value();
+  OllamaEngine on_h100(h100.env(), spec, EngineOptions{}, "h");
+  OllamaEngine on_a100(a100.env(), spec, EngineOptions{}, "a");
+  EXPECT_NE(on_h100.RestoreCharacteristics().copy_bw.AsGBps(),
+            on_a100.RestoreCharacteristics().copy_bw.AsGBps());
+}
+
+}  // namespace
+}  // namespace swapserve::engine

@@ -1,0 +1,74 @@
+#include "hw/gpu_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu_spec.h"
+#include "sim/task.h"
+
+namespace swapserve::hw {
+namespace {
+
+TEST(GpuMonitorTest, RecordsMemorySeries) {
+  sim::Simulation sim;
+  GpuDevice gpu(sim, 0, GpuSpec::H100Hbm3_80GB());
+  GpuMonitor monitor(sim, {&gpu}, sim::Seconds(1));
+  monitor.Start();
+  sim.Schedule(sim::Seconds(2.5), [&] {
+    SWAP_CHECK(gpu.Allocate("m", GiB(40), "weights").ok());
+  });
+  sim.Schedule(sim::Seconds(5.5), [&] { monitor.Stop(); });
+  sim.Run();
+
+  const TimeSeries& mem = monitor.MemorySeries(0);
+  ASSERT_GE(mem.size(), 5u);
+  // Samples at t=1,2 see 0 GiB; t=3..5 see 40 GiB.
+  EXPECT_DOUBLE_EQ(mem.points()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(mem.points()[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(mem.points()[2].value, 40.0);
+  EXPECT_DOUBLE_EQ(mem.MaxValue(), 40.0);
+}
+
+TEST(GpuMonitorTest, UtilizationWindows) {
+  sim::Simulation sim;
+  GpuDevice gpu(sim, 0, GpuSpec::H100Hbm3_80GB());
+  GpuMonitor monitor(sim, {&gpu}, sim::Seconds(10));
+  monitor.Start();
+  // Busy [12, 17]: the second window (10, 20] is 50% busy.
+  sim.Schedule(sim::Seconds(12), [&] { gpu.BeginCompute(); });
+  sim.Schedule(sim::Seconds(17), [&] { gpu.EndCompute(); });
+  sim.Schedule(sim::Seconds(25), [&] { monitor.Stop(); });
+  sim.Run();
+
+  const TimeSeries& util = monitor.UtilizationSeries(0);
+  ASSERT_GE(util.size(), 2u);
+  EXPECT_DOUBLE_EQ(util.points()[0].value, 0.0);   // (0, 10]
+  EXPECT_DOUBLE_EQ(util.points()[1].value, 0.5);   // (10, 20]
+}
+
+TEST(GpuMonitorTest, InstantaneousQueries) {
+  sim::Simulation sim;
+  GpuDevice gpu(sim, 3, GpuSpec::A100Sxm4_80GB());
+  GpuMonitor monitor(sim, {&gpu}, sim::Seconds(1));
+  SWAP_CHECK(gpu.Allocate("m", GiB(16), "weights").ok());
+  EXPECT_EQ(monitor.UsedMemory(3), GiB(16));
+  EXPECT_EQ(monitor.FreeMemory(3), GiB(64));
+  EXPECT_DOUBLE_EQ(monitor.CurrentUtilization(3), 0.0);
+}
+
+TEST(GpuMonitorTest, MultiGpuSeriesIndependent) {
+  sim::Simulation sim;
+  GpuDevice gpu0(sim, 0, GpuSpec::H100Hbm3_80GB());
+  GpuDevice gpu1(sim, 1, GpuSpec::H100Hbm3_80GB());
+  GpuMonitor monitor(sim, {&gpu0, &gpu1}, sim::Seconds(1));
+  monitor.Start();
+  sim.Schedule(sim::Seconds(0.5), [&] {
+    SWAP_CHECK(gpu1.Allocate("m", GiB(8), "weights").ok());
+  });
+  sim.Schedule(sim::Seconds(3.5), [&] { monitor.Stop(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(monitor.MemorySeries(0).MaxValue(), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.MemorySeries(1).MaxValue(), 8.0);
+}
+
+}  // namespace
+}  // namespace swapserve::hw

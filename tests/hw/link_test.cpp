@@ -1,0 +1,96 @@
+#include "hw/link.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+
+namespace swapserve::hw {
+namespace {
+
+TEST(LinkTest, TransferTimeMatchesBandwidth) {
+  sim::Simulation sim;
+  Link link(sim, "pcie", GBps(10));
+  double done_at = -1;
+  sim.Go([&]() -> sim::Task<> {
+    co_await link.Transfer(GB(30));
+    done_at = sim.Now().ToSeconds();
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+  EXPECT_EQ(link.total_transferred(), GB(30));
+  EXPECT_EQ(link.transfer_count(), 1u);
+}
+
+TEST(LinkTest, SetupLatencyAdds) {
+  sim::Simulation sim;
+  Link link(sim, "pcie", GBps(10), sim::Millis(500));
+  double done_at = -1;
+  sim.Go([&]() -> sim::Task<> {
+    co_await link.Transfer(GB(10));
+    done_at = sim.Now().ToSeconds();
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 1.5);
+}
+
+TEST(LinkTest, ConcurrentTransfersSerializeFifo) {
+  sim::Simulation sim;
+  Link link(sim, "pcie", GBps(10));
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    sim.Go([&]() -> sim::Task<> {
+      co_await link.Transfer(GB(10));  // 1 s each
+      done.push_back(sim.Now().ToSeconds());
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 3.0);
+  EXPECT_EQ(link.in_flight(), 0);
+}
+
+TEST(LinkTest, IdleTransferTimeIsPureTiming) {
+  sim::Simulation sim;
+  Link link(sim, "x", GBps(5));
+  EXPECT_DOUBLE_EQ(link.IdleTransferTime(GB(10)).ToSeconds(), 2.0);
+}
+
+TEST(StorageDeviceTest, ReadFilePaysOpenOverhead) {
+  sim::Simulation sim;
+  StorageDevice disk(sim, "nvme", GBps(6), sim::Seconds(0.4));
+  double done_at = -1;
+  sim.Go([&]() -> sim::Task<> {
+    co_await disk.ReadFile(GB(12));
+    done_at = sim.Now().ToSeconds();
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at, 0.4 + 2.0);
+  EXPECT_EQ(disk.total_read(), GB(12));
+}
+
+TEST(StorageDeviceTest, ShardedReadPaysOpenPerShard) {
+  sim::Simulation sim;
+  StorageDevice disk(sim, "nvme", GBps(10), sim::Seconds(0.1));
+  double done_at = -1;
+  sim.Go([&]() -> sim::Task<> {
+    co_await disk.ReadSharded(GB(20), 4);
+    done_at = sim.Now().ToSeconds();
+  });
+  sim.Run();
+  // 4 opens (0.4 s) + 2 s of reads.
+  EXPECT_NEAR(done_at, 2.4, 1e-9);
+  EXPECT_EQ(disk.total_read(), GB(20));
+}
+
+TEST(StorageDeviceTest, ShardRemainderGoesToFirstShard) {
+  sim::Simulation sim;
+  StorageDevice disk(sim, "nvme", GBps(1), sim::SimDuration(0));
+  sim.Go([&]() -> sim::Task<> { co_await disk.ReadSharded(Bytes(10), 3); });
+  sim.Run();
+  EXPECT_EQ(disk.total_read(), Bytes(10));  // no bytes lost to rounding
+}
+
+}  // namespace
+}  // namespace swapserve::hw

@@ -1,0 +1,83 @@
+#include "model/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve::model {
+namespace {
+
+TEST(CatalogTest, DefaultContainsPaperModels) {
+  ModelCatalog cat = ModelCatalog::Default();
+  // Table 1 / Fig. 5 / Fig. 6 models.
+  for (const char* id :
+       {"deepseek-r1-1.5b-fp16", "deepseek-r1-7b-fp16",
+        "deepseek-r1-8b-fp16", "deepseek-r1-14b-fp16", "gemma-3-4b-fp16",
+        "gemma-3-12b-fp16", "gemma-3-27b-fp16", "llama-3.2-1b-fp16",
+        "llama-3.2-3b-fp16", "llama-3.1-8b-fp16",
+        // §3.4's worked example models.
+        "gemma-7b-fp16", "deepseek-coder-6.7b-fp16", "llama-3.3-70b-fp8",
+        // Fig. 5 quantization variants.
+        "deepseek-r1-14b-q4", "deepseek-r1-14b-q8"}) {
+    EXPECT_TRUE(cat.Contains(id)) << id;
+  }
+}
+
+TEST(CatalogTest, TrueParameterCounts) {
+  ModelCatalog cat = ModelCatalog::Default();
+  // "1.5B" is really the 1.78B Qwen distillation, etc.
+  EXPECT_NEAR(cat.Find("deepseek-r1-1.5b-fp16")->params_billion, 1.78, 0.01);
+  EXPECT_NEAR(cat.Find("llama-3.2-1b-fp16")->params_billion, 1.24, 0.01);
+  EXPECT_NEAR(cat.Find("gemma-3-27b-fp16")->params_billion, 27.43, 0.01);
+}
+
+TEST(CatalogTest, Sec34MemoryFootprints) {
+  // §3.4: Gemma 7B ~16 GB, DeepSeek-Coder 6.7B ~14 GB, LLaMA-3.3-70B-FP8
+  // ~75 GB. Weight bytes should be in those ballparks.
+  ModelCatalog cat = ModelCatalog::Default();
+  EXPECT_NEAR(cat.Find("gemma-7b-fp16")->WeightBytes().AsGB(), 17.1, 0.5);
+  EXPECT_NEAR(cat.Find("deepseek-coder-6.7b-fp16")->WeightBytes().AsGB(),
+              13.5, 0.5);
+  EXPECT_NEAR(cat.Find("llama-3.3-70b-fp8")->WeightBytes().AsGB(), 70.6,
+              0.5);
+}
+
+TEST(CatalogTest, FindUnknownFails) {
+  ModelCatalog cat = ModelCatalog::Default();
+  EXPECT_EQ(cat.Find("gpt-17").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, AddValidation) {
+  ModelCatalog cat;
+  ModelSpec ok;
+  ok.id = "m";
+  ok.params_billion = 1.0;
+  EXPECT_TRUE(cat.Add(ok).ok());
+  EXPECT_EQ(cat.Add(ok).code(), StatusCode::kAlreadyExists);
+  ModelSpec no_id = ok;
+  no_id.id = "";
+  EXPECT_EQ(cat.Add(no_id).code(), StatusCode::kInvalidArgument);
+  ModelSpec no_params = ok;
+  no_params.id = "x";
+  no_params.params_billion = 0;
+  EXPECT_EQ(cat.Add(no_params).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, Filters) {
+  ModelCatalog cat = ModelCatalog::Default();
+  for (const ModelSpec& m : cat.ByFamily(ModelFamily::kDeepSeekR1)) {
+    EXPECT_EQ(m.family, ModelFamily::kDeepSeekR1);
+  }
+  EXPECT_EQ(cat.ByFamily(ModelFamily::kDeepSeekR1).size(), 12u);  // 4 x 3
+  for (const ModelSpec& m : cat.ByQuantization(Quantization::kQ4)) {
+    EXPECT_EQ(m.quant, Quantization::kQ4);
+  }
+  EXPECT_FALSE(cat.ByQuantization(Quantization::kQ4).empty());
+}
+
+TEST(CatalogTest, AllMatchesSize) {
+  ModelCatalog cat = ModelCatalog::Default();
+  EXPECT_EQ(cat.All().size(), cat.size());
+  EXPECT_GE(cat.size(), 25u);
+}
+
+}  // namespace
+}  // namespace swapserve::model

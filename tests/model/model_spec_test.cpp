@@ -1,0 +1,50 @@
+#include "model/model_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve::model {
+namespace {
+
+ModelSpec Make(const std::string& id, double params_b, Quantization quant) {
+  ModelSpec spec;
+  spec.id = id;
+  spec.params_billion = params_b;
+  spec.quant = quant;
+  return spec;
+}
+
+TEST(ModelSpecTest, BytesPerParamByQuantization) {
+  EXPECT_DOUBLE_EQ(BytesPerParam(Quantization::kFP16), 2.0);
+  EXPECT_DOUBLE_EQ(BytesPerParam(Quantization::kFP8), 1.0);
+  EXPECT_GT(BytesPerParam(Quantization::kQ8), 1.0);  // block overhead
+  EXPECT_LT(BytesPerParam(Quantization::kQ4), 0.6);
+}
+
+TEST(ModelSpecTest, WeightBytesScaleWithParamsAndQuant) {
+  ModelSpec fp16 = Make("x", 8.0, Quantization::kFP16);
+  EXPECT_NEAR(fp16.WeightBytes().AsGB(), 16.0, 1e-9);
+  ModelSpec q4 = Make("x", 8.0, Quantization::kQ4);
+  EXPECT_NEAR(q4.WeightBytes().AsGB(), 4.5, 1e-9);
+  EXPECT_LT(q4.WeightBytes(), fp16.WeightBytes());
+}
+
+TEST(ModelSpecTest, ShardCountRoughlyFiveGbPerShard) {
+  EXPECT_EQ(Make("s", 1.24, Quantization::kFP16).ShardCount(), 1);
+  EXPECT_EQ(Make("b", 27.43, Quantization::kFP16).ShardCount(), 11);
+}
+
+TEST(ModelSpecTest, Names) {
+  EXPECT_EQ(QuantizationName(Quantization::kQ4), "Q4");
+  EXPECT_EQ(QuantizationName(Quantization::kFP16), "FP16");
+  EXPECT_EQ(ModelFamilyName(ModelFamily::kDeepSeekR1), "DeepSeek-R1");
+  EXPECT_EQ(ModelFamilyName(ModelFamily::kGemma), "Gemma");
+}
+
+TEST(ModelSpecTest, EqualityById) {
+  ModelSpec a = Make("same", 1.0, Quantization::kFP16);
+  ModelSpec b = Make("same", 99.0, Quantization::kQ4);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace swapserve::model

@@ -1,0 +1,197 @@
+#include "sim/channel.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace swapserve::sim {
+namespace {
+
+TEST(ChannelTest, BufferedSendRecv) {
+  Simulation sim;
+  Channel<int> ch(sim, 4);
+  std::vector<int> got;
+  Spawn([&]() -> Task<> {
+    for (int i = 0; i < 4; ++i) {
+      const bool ok = co_await ch.Send(i);
+      EXPECT_TRUE(ok);
+    }
+    ch.Close();
+  });
+  Spawn([&]() -> Task<> {
+    while (auto v = co_await ch.Recv()) got.push_back(*v);
+  });
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ChannelTest, SenderBlocksWhenFull) {
+  Simulation sim;
+  Channel<int> ch(sim, 1);
+  std::vector<double> send_times;
+  Spawn([&]() -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      (void)co_await ch.Send(i);
+      send_times.push_back(sim.Now().ToSeconds());
+    }
+  });
+  Spawn([&]() -> Task<> {
+    co_await sim.Delay(Seconds(10));
+    (void)co_await ch.Recv();  // frees one slot
+    co_await sim.Delay(Seconds(10));
+    (void)co_await ch.Recv();
+    (void)co_await ch.Recv();
+  });
+  sim.Run();
+  ASSERT_EQ(send_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(send_times[0], 0.0);   // buffered immediately
+  EXPECT_DOUBLE_EQ(send_times[1], 10.0);  // unblocked by first recv
+  EXPECT_DOUBLE_EQ(send_times[2], 20.0);
+}
+
+TEST(ChannelTest, ReceiverBlocksWhenEmpty) {
+  Simulation sim;
+  Channel<std::string> ch(sim, 8);
+  double recv_time = -1;
+  std::string got;
+  Spawn([&]() -> Task<> {
+    auto v = co_await ch.Recv();
+    EXPECT_TRUE(v.has_value());
+    if (v) got = *v;
+    recv_time = sim.Now().ToSeconds();
+  });
+  Spawn([&]() -> Task<> {
+    co_await sim.Delay(Seconds(3));
+    (void)co_await ch.Send("hello");
+  });
+  sim.Run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_DOUBLE_EQ(recv_time, 3.0);
+}
+
+TEST(ChannelTest, ZeroCapacityRendezvous) {
+  Simulation sim;
+  Channel<int> ch(sim, 0);
+  double send_done = -1;
+  double recv_done = -1;
+  Spawn([&]() -> Task<> {
+    (void)co_await ch.Send(7);
+    send_done = sim.Now().ToSeconds();
+  });
+  Spawn([&]() -> Task<> {
+    co_await sim.Delay(Seconds(5));
+    auto v = co_await ch.Recv();
+    EXPECT_EQ(*v, 7);
+    recv_done = sim.Now().ToSeconds();
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(send_done, 5.0);
+  EXPECT_DOUBLE_EQ(recv_done, 5.0);
+}
+
+TEST(ChannelTest, CloseWakesBlockedReceiversWithNullopt) {
+  Simulation sim;
+  Channel<int> ch(sim, 2);
+  int nullopt_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    Spawn([&]() -> Task<> {
+      auto v = co_await ch.Recv();
+      if (!v.has_value()) ++nullopt_count;
+    });
+  }
+  sim.Schedule(Seconds(1), [&] { ch.Close(); });
+  sim.Run();
+  EXPECT_EQ(nullopt_count, 3);
+}
+
+TEST(ChannelTest, CloseFailsBlockedSenders) {
+  Simulation sim;
+  Channel<int> ch(sim, 0);
+  bool accepted = true;
+  Spawn([&]() -> Task<> { accepted = co_await ch.Send(1); });
+  sim.Schedule(Seconds(1), [&] { ch.Close(); });
+  sim.Run();
+  EXPECT_FALSE(accepted);
+}
+
+TEST(ChannelTest, BufferedValuesDrainAfterClose) {
+  Simulation sim;
+  Channel<int> ch(sim, 4);
+  EXPECT_TRUE(ch.TrySend(1));
+  EXPECT_TRUE(ch.TrySend(2));
+  ch.Close();
+  EXPECT_FALSE(ch.TrySend(3));
+  std::vector<int> got;
+  Spawn([&]() -> Task<> {
+    while (auto v = co_await ch.Recv()) got.push_back(*v);
+  });
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(ChannelTest, TrySendRespectsCapacity) {
+  Simulation sim;
+  Channel<int> ch(sim, 2);
+  EXPECT_TRUE(ch.TrySend(1));
+  EXPECT_TRUE(ch.TrySend(2));
+  EXPECT_FALSE(ch.TrySend(3));  // full
+  EXPECT_TRUE(ch.Full());
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ChannelTest, TryRecvNonBlocking) {
+  Simulation sim;
+  Channel<int> ch(sim, 2);
+  EXPECT_FALSE(ch.TryRecv().has_value());
+  ch.TrySend(9);
+  auto v = ch.TryRecv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(ChannelTest, FifoAcrossMultipleSendersAndReceivers) {
+  Simulation sim;
+  Channel<int> ch(sim, 1);
+  std::vector<int> got;
+  for (int s = 0; s < 3; ++s) {
+    Spawn([&ch, s]() -> Task<> {
+      for (int i = 0; i < 3; ++i) (void)co_await ch.Send(s * 10 + i);
+    });
+  }
+  Spawn([&]() -> Task<> {
+    for (int i = 0; i < 9; ++i) {
+      auto v = co_await ch.Recv();
+      got.push_back(*v);
+    }
+  });
+  sim.Run();
+  ASSERT_EQ(got.size(), 9u);
+  // Per-sender FIFO must hold even if senders interleave.
+  for (int s = 0; s < 3; ++s) {
+    std::vector<int> mine;
+    for (int v : got) {
+      if (v / 10 == s) mine.push_back(v % 10);
+    }
+    EXPECT_EQ(mine, (std::vector<int>{0, 1, 2})) << "sender " << s;
+  }
+}
+
+TEST(ChannelTest, BlockedCounters) {
+  Simulation sim;
+  Channel<int> ch(sim, 0);
+  Spawn([&]() -> Task<> { (void)co_await ch.Send(1); });
+  EXPECT_EQ(ch.blocked_senders(), 1u);
+  EXPECT_EQ(ch.blocked_receivers(), 0u);
+  Spawn([&]() -> Task<> { (void)co_await ch.Recv(); });
+  sim.Run();
+  EXPECT_EQ(ch.blocked_senders(), 0u);
+  EXPECT_EQ(ch.blocked_receivers(), 0u);
+}
+
+}  // namespace
+}  // namespace swapserve::sim

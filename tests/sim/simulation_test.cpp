@@ -1,0 +1,99 @@
+#include "sim/simulation.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace swapserve::sim {
+namespace {
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t(0);
+  t = t + Seconds(2.5);
+  EXPECT_DOUBLE_EQ(t.ToSeconds(), 2.5);
+  EXPECT_DOUBLE_EQ((t - SimTime(0)).ToSeconds(), 2.5);
+  EXPECT_EQ(Seconds(1) + Millis(500), Millis(1500));
+  EXPECT_EQ(Minutes(2), Seconds(120));
+  EXPECT_EQ(Hours(1), Minutes(60));
+  EXPECT_EQ(Days(1), Hours(24));
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(Seconds(12.5).ToString(), "12.500s");
+  EXPECT_EQ(SimTime(0).ToString(), "0.000s");
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(3), [&] { order.push_back(3); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now().ToSeconds(), 3.0);
+}
+
+TEST(SimulationTest, SameInstantFiresInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, CallbacksMayScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.Schedule(Seconds(1), chain);
+  };
+  sim.Schedule(Seconds(1), chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.Now().ToSeconds(), 5.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Schedule(Seconds(10), [&] { ++fired; });
+  sim.RunUntil(SimTime(0) + Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now().ToSeconds(), 5.0);
+  EXPECT_TRUE(sim.HasPendingEvents());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Simulation sim;
+  sim.RunUntil(SimTime(0) + Seconds(42));
+  EXPECT_DOUBLE_EQ(sim.Now().ToSeconds(), 42.0);
+}
+
+TEST(SimulationTest, ProcessedEventCount) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(Seconds(i), [] {});
+  sim.Run();
+  EXPECT_EQ(sim.processed_events(), 7u);
+}
+
+TEST(SimulationTest, ZeroDelayFiresAtCurrentTime) {
+  Simulation sim;
+  double fire_time = -1;
+  sim.Schedule(Seconds(2), [&] {
+    sim.Schedule(SimDuration(0), [&] { fire_time = sim.Now().ToSeconds(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fire_time, 2.0);
+}
+
+}  // namespace
+}  // namespace swapserve::sim

@@ -1,0 +1,197 @@
+#include "sim/sync.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace swapserve::sim {
+namespace {
+
+TEST(SimMutexTest, ProvidesMutualExclusionAcrossSuspension) {
+  Simulation sim;
+  SimMutex mu(sim);
+  int inside = 0;
+  int max_inside = 0;
+  auto critical = [&]() -> Task<> {
+    auto guard = co_await mu.Acquire();
+    ++inside;
+    max_inside = std::max(max_inside, inside);
+    co_await sim.Delay(Seconds(1));  // hold across a suspension point
+    --inside;
+  };
+  for (int i = 0; i < 5; ++i) Spawn(critical());
+  sim.Run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(inside, 0);
+  EXPECT_FALSE(mu.locked());
+  // 5 holders x 1s serialized.
+  EXPECT_DOUBLE_EQ(sim.Now().ToSeconds(), 5.0);
+}
+
+TEST(SimMutexTest, FifoOrdering) {
+  Simulation sim;
+  SimMutex mu(sim);
+  std::vector<int> order;
+  auto proc = [&](int id) -> Task<> {
+    co_await sim.Delay(Millis(id));  // stagger arrival: 1, 2, 3
+    auto guard = co_await mu.Acquire();
+    co_await sim.Delay(Seconds(1));
+    order.push_back(id);
+  };
+  for (int id = 1; id <= 3; ++id) Spawn(proc(id));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimMutexTest, TryAcquireNow) {
+  Simulation sim;
+  SimMutex mu(sim);
+  SimMutex::Guard g1;
+  EXPECT_TRUE(mu.TryAcquireNow(g1));
+  EXPECT_TRUE(mu.locked());
+  SimMutex::Guard g2;
+  EXPECT_FALSE(mu.TryAcquireNow(g2));
+  g1.Release();
+  EXPECT_FALSE(mu.locked());
+  EXPECT_TRUE(mu.TryAcquireNow(g2));
+}
+
+TEST(SimMutexTest, GuardMoveTransfersOwnership) {
+  Simulation sim;
+  SimMutex mu(sim);
+  {
+    SimMutex::Guard outer;
+    {
+      SimMutex::Guard inner;
+      ASSERT_TRUE(mu.TryAcquireNow(inner));
+      outer = std::move(inner);
+      EXPECT_FALSE(inner.owns_lock());
+      EXPECT_TRUE(outer.owns_lock());
+    }
+    EXPECT_TRUE(mu.locked());  // inner's destruction must not unlock
+  }
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(SimSemaphoreTest, CountsUnits) {
+  Simulation sim;
+  SimSemaphore sem(sim, 3);
+  std::vector<double> grant_times;
+  auto proc = [&](std::int64_t units) -> Task<> {
+    co_await sem.Acquire(units);
+    grant_times.push_back(sim.Now().ToSeconds());
+    co_await sim.Delay(Seconds(10));
+    sem.Release(units);
+  };
+  Spawn(proc(2));  // granted at t=0
+  Spawn(proc(1));  // granted at t=0
+  Spawn(proc(3));  // must wait for all 3 units -> t=10
+  sim.Run();
+  ASSERT_EQ(grant_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(grant_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(grant_times[1], 0.0);
+  EXPECT_DOUBLE_EQ(grant_times[2], 10.0);
+  EXPECT_EQ(sem.available(), 3);
+}
+
+TEST(SimSemaphoreTest, FifoPreventsStarvationOfLargeRequests) {
+  Simulation sim;
+  SimSemaphore sem(sim, 4);
+  std::vector<std::string> order;
+  auto proc = [&](std::string name, std::int64_t units,
+                  double arrive) -> Task<> {
+    co_await sim.Delay(Seconds(arrive));
+    co_await sem.Acquire(units);
+    order.push_back(name);
+    co_await sim.Delay(Seconds(5));
+    sem.Release(units);
+  };
+  Spawn(proc("big-first", 4, 0.0));   // takes everything
+  Spawn(proc("huge", 4, 1.0));        // queues at head
+  Spawn(proc("small", 1, 2.0));       // must NOT overtake "huge"
+  sim.Run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"big-first", "huge", "small"}));
+}
+
+TEST(SimSemaphoreTest, ImmediateGrantWhenQueueEmptyAndUnitsAvailable) {
+  Simulation sim;
+  SimSemaphore sem(sim, 5);
+  bool granted = false;
+  Spawn([&]() -> Task<> {
+    co_await sem.Acquire(5);
+    granted = true;
+  });
+  EXPECT_TRUE(granted);  // no suspension needed
+  EXPECT_EQ(sem.available(), 0);
+  sim.Run();
+}
+
+TEST(SimEventTest, WaitersReleaseOnSet) {
+  Simulation sim;
+  SimEvent ev(sim);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    Spawn([&]() -> Task<> {
+      co_await ev.Wait();
+      ++released;
+    });
+  }
+  sim.Schedule(Seconds(2), [&] { ev.Set(); });
+  sim.Run();
+  EXPECT_EQ(released, 3);
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(SimEventTest, SetEventDoesNotBlock) {
+  Simulation sim;
+  SimEvent ev(sim);
+  ev.Set();
+  double stamp = -1;
+  Spawn([&]() -> Task<> {
+    co_await ev.Wait();
+    stamp = sim.Now().ToSeconds();
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(stamp, 0.0);
+}
+
+TEST(SimEventTest, ResetBlocksAgain) {
+  Simulation sim;
+  SimEvent ev(sim);
+  ev.Set();
+  ev.Reset();
+  bool released = false;
+  Spawn([&]() -> Task<> {
+    co_await ev.Wait();
+    released = true;
+  });
+  sim.Schedule(Seconds(1), [&] { ev.Set(); });
+  sim.Run();
+  EXPECT_TRUE(released);
+}
+
+TEST(SimEventTest, PulseWakesWithoutLatching) {
+  Simulation sim;
+  SimEvent ev(sim);
+  int wakes = 0;
+  Spawn([&]() -> Task<> {
+    co_await ev.Wait();
+    ++wakes;
+    co_await ev.Wait();  // must block again: Pulse does not latch
+    ++wakes;
+  });
+  sim.Schedule(Seconds(1), [&] { ev.Pulse(); });
+  sim.Schedule(Seconds(2), [&] { ev.Pulse(); });
+  sim.Run();
+  EXPECT_EQ(wakes, 2);
+  EXPECT_FALSE(ev.is_set());
+}
+
+}  // namespace
+}  // namespace swapserve::sim

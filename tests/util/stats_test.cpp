@@ -1,0 +1,151 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace swapserve {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37 - 3.0;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a;
+  a.Add(1.0);
+  OnlineStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  OnlineStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SamplesTest, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.P99(), 99.01, 1e-9);
+}
+
+TEST(SamplesTest, SingleValue) {
+  Samples s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.25), 3.5);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.5);
+}
+
+TEST(SamplesTest, PercentileAfterMutationRecomputes) {
+  Samples s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 15.0);
+}
+
+TEST(SamplesTest, SummaryStats) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bucket 0
+  h.Add(3.0);    // bucket 1
+  h.Add(9.99);   // bucket 4
+  h.Add(-5.0);   // clamps to bucket 0
+  h.Add(100.0);  // clamps to bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(1), 4.0);
+}
+
+TEST(HistogramTest, AsciiRenderingHasOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  h.Add(1.5);
+  const std::string art = h.ToAscii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanStepFunction) {
+  TimeSeries ts;
+  ts.Record(0.0, 10.0);
+  ts.Record(5.0, 20.0);  // value 10 for [0,5), 20 for [5,10]
+  EXPECT_NEAR(ts.TimeWeightedMean(0.0, 10.0), 15.0, 1e-9);
+  EXPECT_NEAR(ts.TimeWeightedMean(0.0, 5.0), 10.0, 1e-9);
+  EXPECT_NEAR(ts.TimeWeightedMean(5.0, 10.0), 20.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, EmptySeries) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.TimeWeightedMean(0.0, 1.0), 0.0);
+  EXPECT_TRUE(ts.Resample(4).empty());
+  EXPECT_EQ(ts.MaxValue(), 0.0);
+}
+
+TEST(TimeSeriesTest, ResampleStepSemantics) {
+  TimeSeries ts;
+  ts.Record(0.0, 1.0);
+  ts.Record(10.0, 2.0);
+  auto pts = ts.Resample(3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].value, 1.0);  // t=5 still holds first value
+  EXPECT_DOUBLE_EQ(pts[2].value, 2.0);
+}
+
+TEST(TimeSeriesTest, MaxValue) {
+  TimeSeries ts;
+  ts.Record(0.0, 1.0);
+  ts.Record(1.0, 7.0);
+  ts.Record(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(ts.MaxValue(), 7.0);
+}
+
+}  // namespace
+}  // namespace swapserve

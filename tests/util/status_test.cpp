@@ -1,0 +1,90 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("model llama-3.2-1b");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "model llama-3.2-1b");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: model llama-3.2-1b");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFound("x"), NotFound("x"));
+  EXPECT_FALSE(NotFound("x") == NotFound("y"));
+  EXPECT_FALSE(NotFound("x") == InvalidArgument("x"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailingHelper() { return Internal("boom"); }
+
+Status PropagationSite() {
+  SWAP_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagationSite().code(), StatusCode::kInternal);
+}
+
+Result<int> ProducesValue() { return 10; }
+
+Result<int> AssignOrReturnSite() {
+  SWAP_ASSIGN_OR_RETURN(int v, ProducesValue());
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  Result<int> r = AssignOrReturnSite();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 20);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r = 5;
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+}  // namespace
+}  // namespace swapserve

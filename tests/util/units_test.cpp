@@ -1,0 +1,58 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve {
+namespace {
+
+TEST(BytesTest, Conversions) {
+  EXPECT_EQ(GiB(1).count(), 1024LL * 1024 * 1024);
+  EXPECT_EQ(MiB(1).count(), 1024LL * 1024);
+  EXPECT_EQ(GB(1).count(), 1000000000LL);
+  EXPECT_DOUBLE_EQ(GiB(80).AsGiB(), 80.0);
+  EXPECT_NEAR(GB(28).AsGB(), 28.0, 1e-12);
+}
+
+TEST(BytesTest, Arithmetic) {
+  Bytes a = GiB(2);
+  Bytes b = GiB(1);
+  EXPECT_EQ((a + b).count(), GiB(3).count());
+  EXPECT_EQ((a - b).count(), GiB(1).count());
+  a += b;
+  EXPECT_EQ(a, GiB(3));
+  a -= b;
+  EXPECT_EQ(a, GiB(2));
+  EXPECT_EQ((b * 4).count(), GiB(4).count());
+  EXPECT_EQ((4 * b).count(), GiB(4).count());
+}
+
+TEST(BytesTest, Ordering) {
+  EXPECT_LT(MiB(1), GiB(1));
+  EXPECT_GT(GB(2), GB(1));
+  EXPECT_LE(GB(1), GB(1));
+}
+
+TEST(BytesTest, ToStringPicksUnit) {
+  EXPECT_EQ(GiB(28).ToString(), "28.00 GiB");
+  EXPECT_EQ(MiB(3).ToString(), "3.00 MiB");
+  EXPECT_EQ(Bytes(512).ToString(), "512 B");
+  EXPECT_EQ(KiB(2).ToString(), "2.00 KiB");
+}
+
+TEST(BandwidthTest, TransferTime) {
+  // 28 GB at 7 GB/s takes 4 seconds.
+  EXPECT_NEAR(GBps(7).SecondsFor(GB(28)), 4.0, 1e-9);
+  EXPECT_NEAR(MBps(500).SecondsFor(MB(250)), 0.5, 1e-9);
+}
+
+TEST(BandwidthTest, ZeroBandwidthIsInstant) {
+  EXPECT_EQ(BytesPerSecond().SecondsFor(GB(1)), 0.0);
+}
+
+TEST(BandwidthTest, Accessors) {
+  EXPECT_DOUBLE_EQ(GBps(12.5).AsGBps(), 12.5);
+  EXPECT_DOUBLE_EQ(GBps(1).bytes_per_sec(), 1e9);
+}
+
+}  // namespace
+}  // namespace swapserve

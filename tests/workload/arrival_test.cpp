@@ -1,0 +1,106 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve::workload {
+namespace {
+
+TEST(ConstantRateTest, PoissonArrivalsMatchRate) {
+  ConstantRate rate(2.0);
+  sim::Rng rng(1);
+  const double horizon = 10000.0;
+  auto arrivals = SampleArrivals(rate, horizon, rng);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()) / horizon, 2.0, 0.1);
+  // Sorted and within bounds.
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  }
+  EXPECT_GE(arrivals.front(), 0.0);
+  EXPECT_LT(arrivals.back(), horizon);
+}
+
+TEST(ConstantRateTest, DeterministicPerSeed) {
+  ConstantRate rate(1.0);
+  sim::Rng a(7);
+  sim::Rng b(7);
+  EXPECT_EQ(SampleArrivals(rate, 1000, a), SampleArrivals(rate, 1000, b));
+}
+
+TEST(DiurnalRateTest, CodingPeaksInBusinessHours) {
+  DiurnalRate rate = DiurnalRate::CodingPreset(1.0);
+  // Tuesday 10 AM vs Tuesday 3 AM.
+  const double work = rate.RateAt(1 * 86400 + 10 * 3600);
+  const double night = rate.RateAt(1 * 86400 + 3 * 3600);
+  EXPECT_GT(work, night * 10);
+}
+
+TEST(DiurnalRateTest, CodingWeekendsQuiet) {
+  DiurnalRate rate = DiurnalRate::CodingPreset(1.0);
+  const double tue = rate.RateAt(1 * 86400 + 10 * 3600);
+  const double sat = rate.RateAt(5 * 86400 + 10 * 3600);
+  EXPECT_LT(sat, tue * 0.4);
+}
+
+TEST(DiurnalRateTest, ConversationalEveningPeak) {
+  DiurnalRate rate = DiurnalRate::ConversationalPreset(1.0);
+  const double evening = rate.RateAt(2 * 86400 + 19 * 3600);
+  const double morning = rate.RateAt(2 * 86400 + 9 * 3600);
+  EXPECT_GT(evening, morning);
+}
+
+TEST(DiurnalRateTest, RateNeverExceedsMaxRate) {
+  for (auto preset : {DiurnalRate::CodingPreset(3.0),
+                      DiurnalRate::ConversationalPreset(3.0)}) {
+    const double max = preset.MaxRate();
+    for (double t = 0; t < 7 * 86400; t += 600) {
+      EXPECT_LE(preset.RateAt(t), max + 1e-12) << "t=" << t;
+    }
+  }
+}
+
+TEST(DiurnalRateTest, WrapsWeekly) {
+  DiurnalRate rate = DiurnalRate::CodingPreset(1.0);
+  EXPECT_DOUBLE_EQ(rate.RateAt(10 * 3600),
+                   rate.RateAt(7 * 86400 + 10 * 3600));
+}
+
+TEST(MmppRateTest, TwoLevels) {
+  MmppRate rate(0.01, 1.0, 3600, 300, /*seed=*/3, /*horizon=*/86400);
+  int burst_samples = 0;
+  int quiet_samples = 0;
+  for (double t = 0; t < 86400; t += 10) {
+    const double r = rate.RateAt(t);
+    EXPECT_TRUE(r == 0.01 || r == 1.0);
+    (r == 1.0 ? burst_samples : quiet_samples)++;
+  }
+  EXPECT_GT(burst_samples, 0);
+  EXPECT_GT(quiet_samples, burst_samples);  // mean quiet >> mean burst
+}
+
+TEST(MmppRateTest, StartsQuiet) {
+  MmppRate rate(0.1, 5.0, 1000, 100, 11, 10000);
+  EXPECT_FALSE(rate.InBurst(0.0));
+  EXPECT_DOUBLE_EQ(rate.RateAt(0.0), 0.1);
+}
+
+TEST(MmppRateTest, ArrivalsConcentrateInBursts) {
+  MmppRate rate(0.001, 2.0, 2000, 500, 13, 100000);
+  sim::Rng rng(17);
+  auto arrivals = SampleArrivals(rate, 100000, rng);
+  int in_burst = 0;
+  for (double t : arrivals) {
+    if (rate.InBurst(t)) ++in_burst;
+  }
+  EXPECT_GT(static_cast<double>(in_burst) /
+                static_cast<double>(arrivals.size()),
+            0.95);
+}
+
+TEST(SampleArrivalsTest, EmptyWhenHorizonZero) {
+  ConstantRate rate(5.0);
+  sim::Rng rng(1);
+  EXPECT_TRUE(SampleArrivals(rate, 0.0, rng).empty());
+}
+
+}  // namespace
+}  // namespace swapserve::workload

@@ -1,0 +1,87 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve::workload {
+namespace {
+
+TEST(TraceTest, GeneratesSortedMergedTrace) {
+  ConstantRate fast(1.0);
+  ConstantRate slow(0.2);
+  RequestProfile profile = RequestProfile::ShortQa();
+  std::vector<ModelWorkload> mix = {
+      {"model-a", &fast, &profile},
+      {"model-b", &slow, &profile},
+  };
+  auto trace = GenerateTrace(mix, 3600, 42);
+  ASSERT_FALSE(trace.empty());
+  int a_count = 0;
+  int b_count = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(trace[i].time_s, trace[i - 1].time_s);
+    }
+    EXPECT_GT(trace[i].prompt_tokens, 0);
+    EXPECT_GT(trace[i].output_tokens, 0);
+    if (trace[i].model_id == "model-a") ++a_count;
+    if (trace[i].model_id == "model-b") ++b_count;
+  }
+  EXPECT_EQ(a_count + b_count, static_cast<int>(trace.size()));
+  // Rate ratio ~5:1.
+  EXPECT_NEAR(static_cast<double>(a_count) / b_count, 5.0, 1.5);
+}
+
+TEST(TraceTest, DeterministicPerSeed) {
+  ConstantRate rate(0.5);
+  RequestProfile profile = RequestProfile::ShortQa();
+  std::vector<ModelWorkload> mix = {{"m", &rate, &profile}};
+  auto t1 = GenerateTrace(mix, 1000, 7);
+  auto t2 = GenerateTrace(mix, 1000, 7);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1[i].time_s, t2[i].time_s);
+    EXPECT_EQ(t1[i].prompt_tokens, t2[i].prompt_tokens);
+  }
+  auto t3 = GenerateTrace(mix, 1000, 8);
+  EXPECT_NE(t1.size(), t3.size());
+}
+
+TEST(HourlyTokenVolumeTest, BucketsSumToTraceTotals) {
+  ConstantRate rate(0.5);
+  RequestProfile profile = RequestProfile::Conversational();
+  std::vector<ModelWorkload> mix = {{"m", &rate, &profile}};
+  auto trace = GenerateTrace(mix, 7200, 3);
+  auto buckets = HourlyTokenVolume(trace, 7200);
+  ASSERT_EQ(buckets.size(), 2u);
+  std::int64_t total_in = 0;
+  std::int64_t total_req = 0;
+  for (const HourBucket& b : buckets) {
+    total_in += b.input_tokens;
+    total_req += b.requests;
+  }
+  std::int64_t expected_in = 0;
+  for (const TraceEvent& ev : trace) expected_in += ev.prompt_tokens;
+  EXPECT_EQ(total_in, expected_in);
+  EXPECT_EQ(total_req, static_cast<std::int64_t>(trace.size()));
+  EXPECT_DOUBLE_EQ(buckets[1].hour_start_s, 3600.0);
+}
+
+TEST(HourlyTokenVolumeTest, EmptyTrace) {
+  auto buckets = HourlyTokenVolume({}, 3600);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].requests, 0);
+}
+
+TEST(HourlyTokenVolumeTest, EventsPastHorizonIgnored) {
+  std::vector<TraceEvent> trace = {
+      {.time_s = 100, .model_id = "m", .prompt_tokens = 5, .output_tokens = 5},
+      {.time_s = 7000, .model_id = "m", .prompt_tokens = 7,
+       .output_tokens = 7},
+  };
+  auto buckets = HourlyTokenVolume(trace, 3600);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].input_tokens, 5);
+}
+
+}  // namespace
+}  // namespace swapserve::workload
