@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Build the asan preset (address+undefined sanitizers) and run the test
+# suite under it. CI-friendly: exits non-zero on any configure, build, or
+# test failure. Usage: scripts/check_asan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build build-asan -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"

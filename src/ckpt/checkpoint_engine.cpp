@@ -16,6 +16,8 @@ Bytes Shard(Bytes total, std::size_t n, std::size_t rank) {
   return per;
 }
 
+constexpr const char* kPhaseSeconds = "swapserve_ckpt_phase_seconds";
+
 }  // namespace
 
 sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
@@ -27,16 +29,26 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
     gpus.push_back(req.gpu);
   }
   const sim::SimTime start = sim_.Now();
+  obs::Span swap_span =
+      obs::StartSpan(obs_, "ckpt.swap_out", "ckpt", req.owner);
+  swap_span.AddArg("dirty_bytes", std::to_string(req.dirty_bytes.count()));
+  swap_span.AddArg("clean_bytes", std::to_string(req.clean_bytes.count()));
 
   // 1. Freeze the container cgroup: CPU side stops issuing CUDA work.
-  Status s = co_await req.container->Pause();
-  if (!s.ok()) co_return s;
+  {
+    obs::Span phase = obs::StartSpan(obs_, "freeze", "ckpt", req.owner);
+    Status s = co_await req.container->Pause();
+    if (!s.ok()) co_return s;
+  }
 
   // 2. cuda-checkpoint lock: drain in-flight kernels.
-  s = co_await req.process->Lock(sim::Millis(50));
-  if (!s.ok()) {
-    (void)co_await req.container->Unpause();
-    co_return s;
+  {
+    obs::Span phase = obs::StartSpan(obs_, "lock", "ckpt", req.owner);
+    Status s = co_await req.process->Lock(sim::Millis(50));
+    if (!s.ok()) {
+      (void)co_await req.container->Unpause();
+      co_return s;
+    }
   }
 
   // 3. Stage dirty pages into host RAM (reserve budget first so a full
@@ -55,13 +67,23 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
     (void)co_await req.container->Unpause();
     co_return put.status();
   }
-  co_await sim_.Delay(
-      req.checkpoint.CheckpointTime(Shard(req.dirty_bytes, gpus.size(), 0)));
+  {
+    obs::Span phase = obs::StartSpan(obs_, "d2h", "ckpt", req.owner);
+    const sim::SimTime d2h_start = sim_.Now();
+    co_await sim_.Delay(req.checkpoint.CheckpointTime(
+        Shard(req.dirty_bytes, gpus.size(), 0)));
+    obs::Observe(obs_, kPhaseSeconds, {{"phase", "d2h"}},
+                 (sim_.Now() - d2h_start).ToSeconds());
+  }
   SWAP_CHECK(req.process->MarkCheckpointed().ok());
 
   // 4. Device memory is released by the driver on every group member.
   Bytes freed(0);
-  for (hw::GpuDevice* gpu : gpus) freed += gpu->FreeAllOwnedBy(req.owner);
+  {
+    obs::Span phase = obs::StartSpan(obs_, "release", "ckpt", req.owner);
+    for (hw::GpuDevice* gpu : gpus) freed += gpu->FreeAllOwnedBy(req.owner);
+    phase.AddArg("freed_bytes", std::to_string(freed.count()));
+  }
 
   SWAP_LOG(kDebug, "ckpt") << "swap-out " << req.owner << ": freed "
                            << freed.ToString() << " across " << gpus.size()
@@ -83,37 +105,68 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
   SWAP_CO_ASSIGN_OR_RETURN(Snapshot snap, store_.Get(snapshot_id));
   SWAP_CHECK_MSG(static_cast<int>(gpus.size()) == snap.tp_degree,
                  "swap-in device group does not match checkpoint topology");
+  obs::Span swap_span =
+      obs::StartSpan(obs_, "ckpt.swap_in", "ckpt", snap.owner);
+  swap_span.AddArg("dirty_bytes", std::to_string(snap.dirty_bytes.count()));
+  swap_span.AddArg("clean_bytes", std::to_string(snap.clean_bytes.count()));
 
   // 1. Re-acquire device memory on every group member. The task manager's
   //    reservations should make this infallible; a failure is a
   //    scheduling bug surfaced as a hard error (with rollback).
   const Bytes total = snap.clean_bytes + snap.dirty_bytes;
   std::vector<std::pair<hw::GpuDevice*, hw::AllocationId>> allocs;
-  for (std::size_t rank = 0; rank < gpus.size(); ++rank) {
-    Result<hw::AllocationId> alloc = gpus[rank]->Allocate(
-        snap.owner, Shard(total, gpus.size(), rank), "restored-state");
-    if (!alloc.ok()) {
-      for (auto& [dev, id] : allocs) SWAP_CHECK(dev->Free(id).ok());
-      co_return alloc.status();
+  {
+    obs::Span phase = obs::StartSpan(obs_, "reserve", "ckpt", snap.owner);
+    phase.AddArg("bytes", std::to_string(total.count()));
+    for (std::size_t rank = 0; rank < gpus.size(); ++rank) {
+      Result<hw::AllocationId> alloc = gpus[rank]->Allocate(
+          snap.owner, Shard(total, gpus.size(), rank), "restored-state");
+      if (!alloc.ok()) {
+        for (auto& [dev, id] : allocs) SWAP_CHECK(dev->Free(id).ok());
+        co_return alloc.status();
+      }
+      allocs.push_back({gpus[rank], *alloc});
     }
-    allocs.push_back({gpus[rank], *alloc});
   }
 
-  // 2. Copy dirty shards back and remap clean reservations, in parallel
+  // 2. Copy dirty shards back, then remap clean reservations, in parallel
   //    across the group; timing comes from the per-engine restore model
-  //    captured at checkpoint time. The fixed term (CUDA context restore +
-  //    API health check) is paid once.
-  co_await sim_.Delay(snap.restore.RestoreTime(
-      Shard(snap.clean_bytes, gpus.size(), 0),
-      Shard(snap.dirty_bytes, gpus.size(), 0)));
+  //    captured at checkpoint time. The copy and remap terms of
+  //    RestoreModel are paced as separate phases so the trace attributes
+  //    the wait; the fixed term (CUDA context restore + API health check)
+  //    is paid once, at unlock.
+  const Bytes dirty_shard = Shard(snap.dirty_bytes, gpus.size(), 0);
+  const Bytes clean_shard = Shard(snap.clean_bytes, gpus.size(), 0);
+  {
+    obs::Span phase = obs::StartSpan(obs_, "h2d", "ckpt", snap.owner);
+    phase.AddArg("bytes", std::to_string(snap.dirty_bytes.count()));
+    const sim::SimTime h2d_start = sim_.Now();
+    co_await sim_.Delay(
+        sim::Seconds(snap.restore.copy_bw.SecondsFor(dirty_shard)));
+    obs::Observe(obs_, kPhaseSeconds, {{"phase", "h2d"}},
+                 (sim_.Now() - h2d_start).ToSeconds());
+  }
+  {
+    obs::Span phase = obs::StartSpan(obs_, "remap", "ckpt", snap.owner);
+    phase.AddArg("bytes", std::to_string(snap.clean_bytes.count()));
+    co_await sim_.Delay(
+        sim::Seconds(snap.restore.remap_bw.SecondsFor(clean_shard)));
+  }
   Status s = process.MarkRestored();
   if (!s.ok()) co_return s;
-  s = co_await process.Unlock();
-  if (!s.ok()) co_return s;
+  {
+    obs::Span phase = obs::StartSpan(obs_, "unlock", "ckpt", snap.owner);
+    co_await sim_.Delay(snap.restore.fixed);
+    s = co_await process.Unlock();
+    if (!s.ok()) co_return s;
+  }
 
   // 3. Thaw the cgroup: CPU side resumes exactly where it stopped.
-  s = co_await container.Unpause();
-  if (!s.ok()) co_return s;
+  {
+    obs::Span phase = obs::StartSpan(obs_, "thaw", "ckpt", snap.owner);
+    s = co_await container.Unpause();
+    if (!s.ok()) co_return s;
+  }
 
   // 4. Host staging buffers are released; the snapshot is consumed.
   SWAP_CHECK(store_.Drop(snapshot_id).ok());

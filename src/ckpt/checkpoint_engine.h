@@ -21,6 +21,7 @@
 #include "container/container.h"
 #include "hw/gpu_device.h"
 #include "model/calibration.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "util/status.h"
@@ -72,7 +73,13 @@ class CheckpointEngine {
   std::uint64_t swap_out_count() const { return swap_outs_; }
   std::uint64_t swap_in_count() const { return swap_ins_; }
 
+  // Emit per-phase trace spans (§3 state machine: freeze/lock/d2h/release
+  // out, reserve/h2d/remap/unlock/thaw in) and phase-latency histograms
+  // (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
+  obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   SnapshotStore& store_;
   std::uint64_t swap_outs_ = 0;

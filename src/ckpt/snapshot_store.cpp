@@ -16,6 +16,7 @@ Result<SnapshotId> SnapshotStore::Put(Snapshot snapshot) {
   used_ += snapshot.dirty_bytes;
   const SnapshotId id = snapshot.id;
   snapshots_.emplace(id, std::move(snapshot));
+  PublishGauges();
   return id;
 }
 
@@ -34,6 +35,7 @@ Status SnapshotStore::Drop(SnapshotId id) {
   }
   used_ -= it->second.dirty_bytes;
   snapshots_.erase(it);
+  PublishGauges();
   return Status::Ok();
 }
 
@@ -44,6 +46,21 @@ Result<Snapshot> SnapshotStore::FindByOwner(const std::string& owner) const {
   }
   if (latest == nullptr) return NotFound("snapshot for " + owner);
   return *latest;
+}
+
+void SnapshotStore::BindObservability(obs::Observability* obs) {
+  obs_ = obs;
+  PublishGauges();
+}
+
+void SnapshotStore::PublishGauges() const {
+  if (obs_ == nullptr) return;
+  obs::SetGauge(obs_, "swapserve_snapshot_store_bytes", {},
+                static_cast<double>(used_.count()));
+  obs::SetGauge(obs_, "swapserve_snapshot_store_budget_bytes", {},
+                static_cast<double>(budget_.count()));
+  obs::SetGauge(obs_, "swapserve_snapshot_store_count", {},
+                static_cast<double>(snapshots_.size()));
 }
 
 std::vector<Snapshot> SnapshotStore::All() const {

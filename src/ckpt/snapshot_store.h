@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "model/calibration.h"
+#include "obs/observability.h"
 #include "util/status.h"
 #include "util/units.h"
 
@@ -49,7 +50,13 @@ class SnapshotStore {
   std::size_t count() const { return snapshots_.size(); }
   std::vector<Snapshot> All() const;
 
+  // Publish host-RAM occupancy gauges on every Put/Drop (nullable).
+  void BindObservability(obs::Observability* obs);
+
  private:
+  void PublishGauges() const;
+
+  obs::Observability* obs_ = nullptr;
   Bytes budget_;
   Bytes used_{0};
   SnapshotId next_id_ = 1;

@@ -60,6 +60,21 @@ json::Value AdminApi::SystemStatus() const {
   return out;
 }
 
+std::string AdminApi::PrometheusMetrics() const {
+  if (obs_ == nullptr) return "";
+  return obs::ToPrometheusText(obs_->metrics);
+}
+
+json::Value AdminApi::MetricsSnapshotJson() const {
+  if (obs_ == nullptr) return json::Value::MakeObject();
+  return obs::MetricsToJson(obs_->metrics);
+}
+
+void AdminApi::WriteTraceJson(std::ostream& os) const {
+  if (obs_ == nullptr) return;
+  obs::WriteChromeTrace(obs_->trace, os);
+}
+
 void AdminApi::WriteMetricsCsv(std::ostream& os) const {
   TablePrinter csv({"model", "completed", "rejected", "failed", "expired",
                     "served_resident", "served_after_swap_in",

@@ -15,6 +15,8 @@
 #include "core/metrics.h"
 #include "core/scheduler.h"
 #include "json/json.h"
+#include "obs/exporters.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 
@@ -42,6 +44,17 @@ class AdminApi {
   // latency percentiles and counters.
   void WriteMetricsCsv(std::ostream& os) const;
 
+  // Observability surface (all empty/no-op until set_observability):
+  // GET /admin/metrics — Prometheus text exposition.
+  std::string PrometheusMetrics() const;
+  // GET /admin/metrics.json — structured snapshot for the bench harness.
+  json::Value MetricsSnapshotJson() const;
+  // GET /admin/trace — Chrome trace-event JSON (open in Perfetto).
+  void WriteTraceJson(std::ostream& os) const;
+
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+  obs::Observability* observability() const { return obs_; }
+
  private:
   Backend* Find(const std::string& model_id) const;
 
@@ -49,6 +62,7 @@ class AdminApi {
   Scheduler& scheduler_;
   EngineController& controller_;
   Metrics& metrics_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace swapserve::core

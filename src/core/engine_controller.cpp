@@ -41,6 +41,10 @@ sim::Task<Status> EngineController::SwapOut(Backend& backend,
     co_return Status::Ok();  // lost the race; already out
   }
   const sim::SimTime start = sim_.Now();
+  obs::Span span =
+      obs::StartSpan(obs_, "controller.swap_out", "controller",
+                     backend.name());
+  span.AddArg("trigger", preemption ? "preemption" : "explicit");
   SWAP_CO_RETURN_IF_ERROR(backend.engine->MarkSwapping());
 
   // Engine-specific optimization (vLLM sleep) shrinks the dirty set.
@@ -73,9 +77,8 @@ sim::Task<Status> EngineController::SwapOut(Backend& backend,
   backend.resident_bytes = resident;
   SWAP_CHECK(backend.engine->MarkSwappedOut().ok());
 
-  ++metrics_.swap_outs;
-  if (preemption) ++metrics_.preemptions;
-  metrics_.swap_out_latency_s.Add((sim_.Now() - start).ToSeconds());
+  metrics_.RecordSwapOut(backend.name(), (sim_.Now() - start).ToSeconds(),
+                         preemption);
   for (hw::GpuId id : backend.GpuIds()) {
     task_manager_.NotifyMemoryReleased(id);
   }
@@ -95,6 +98,8 @@ sim::Task<Status> EngineController::SwapIn(Backend& backend) {
                                  ": no snapshot");
   }
   const sim::SimTime start = sim_.Now();
+  obs::Span span = obs::StartSpan(obs_, "controller.swap_in", "controller",
+                                  backend.name());
   SWAP_CO_RETURN_IF_ERROR(backend.engine->MarkSwapping());
 
   Result<ckpt::SwapInResult> result = co_await ckpt_.SwapIn(
@@ -111,8 +116,7 @@ sim::Task<Status> EngineController::SwapIn(Backend& backend) {
   if (!after.ok()) co_return after;
   SWAP_CHECK(backend.engine->MarkRunning().ok());
 
-  ++metrics_.swap_ins;
-  metrics_.swap_in_latency_s.Add((sim_.Now() - start).ToSeconds());
+  metrics_.RecordSwapIn(backend.name(), (sim_.Now() - start).ToSeconds());
   SWAP_LOG(kInfo, "controller")
       << "swapped in " << backend.name() << " in "
       << (sim_.Now() - start).ToString();
@@ -180,6 +184,13 @@ sim::Task<Bytes> EngineController::ReclaimMemory(
     const Bytes victim_resident =
         Bytes(victim->engine->GpuResidentBytes().count() /
               victim->engine->tp_degree());
+    obs::Instant(obs_, "preempt:" + victim->name(), "controller",
+                 "gpu" + std::to_string(gpu),
+                 {{"victim", victim->name()},
+                  {"requester", requester},
+                  {"victim_demand", std::to_string(victim->Demand())},
+                  {"frees_bytes", std::to_string(victim_resident.count())},
+                  {"needed_bytes", std::to_string(needed.count())}});
     SWAP_LOG(kInfo, "controller")
         << "preempting " << victim->name() << " (demand "
         << victim->Demand() << ", " << victim_resident.ToString()

@@ -65,7 +65,11 @@ class EngineController final : public TaskManager::ReclaimDelegate {
 
   PreemptionPolicy policy() const { return policy_; }
 
+  // Emit swap spans and preemption-decision instants (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
+  obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   ckpt::CheckpointEngine& ckpt_;
   TaskManager& task_manager_;

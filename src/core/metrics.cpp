@@ -1,6 +1,86 @@
 #include "core/metrics.h"
 
 namespace swapserve::core {
+namespace {
+
+constexpr const char* kRequestsTotal = "swapserve_requests_total";
+constexpr const char* kTtftSeconds = "swapserve_request_ttft_seconds";
+constexpr const char* kLatencySeconds = "swapserve_request_latency_seconds";
+constexpr const char* kSwapWaitSeconds = "swapserve_swap_wait_seconds";
+constexpr const char* kOutputTokens = "swapserve_output_tokens_total";
+constexpr const char* kSwapsTotal = "swapserve_swaps_total";
+constexpr const char* kSwapLatency = "swapserve_swap_latency_seconds";
+
+void CountRequest(obs::Observability* obs, const std::string& model,
+                  const char* outcome) {
+  if (obs == nullptr) return;
+  obs->metrics
+      .GetCounter(kRequestsTotal, {{"model", model}, {"outcome", outcome}})
+      .Increment();
+  obs->metrics.SetHelp(kRequestsTotal,
+                       "Requests by model and terminal outcome");
+}
+
+}  // namespace
+
+void Metrics::RecordCompleted(const std::string& model, double ttft_s,
+                              double total_s, double swap_wait_s,
+                              std::int64_t output_tokens) {
+  ModelMetrics& mm = per_model_[model];
+  ++mm.completed;
+  mm.output_tokens += output_tokens;
+  mm.ttft_s.Add(ttft_s);
+  mm.total_s.Add(total_s);
+  mm.swap_wait_s.Add(swap_wait_s);
+  if (swap_wait_s > 0) {
+    ++mm.served_after_swap_in;
+  } else {
+    ++mm.served_resident;
+  }
+
+  CountRequest(obs_, model, "completed");
+  obs::Observe(obs_, kTtftSeconds, {{"model", model}}, ttft_s);
+  obs::Observe(obs_, kLatencySeconds, {{"model", model}}, total_s);
+  obs::Observe(obs_, kSwapWaitSeconds, {{"model", model}}, swap_wait_s);
+  obs::IncCounter(obs_, kOutputTokens, {{"model", model}},
+                  static_cast<double>(output_tokens));
+}
+
+void Metrics::RecordRejected(const std::string& model) {
+  ++per_model_[model].rejected;
+  CountRequest(obs_, model, "rejected");
+}
+
+void Metrics::RecordFailed(const std::string& model) {
+  ++per_model_[model].failed;
+  CountRequest(obs_, model, "failed");
+}
+
+void Metrics::RecordExpired(const std::string& model) {
+  ++per_model_[model].expired;
+  CountRequest(obs_, model, "expired");
+}
+
+void Metrics::RecordSwapOut(const std::string& model, double latency_s,
+                            bool preemption) {
+  ++swap_outs;
+  if (preemption) ++preemptions;
+  swap_out_latency_s.Add(latency_s);
+  obs::IncCounter(obs_, kSwapsTotal,
+                  {{"direction", "out"},
+                   {"trigger", preemption ? "preemption" : "explicit"}});
+  obs::Observe(obs_, kSwapLatency,
+               {{"direction", "out"}, {"model", model}}, latency_s);
+}
+
+void Metrics::RecordSwapIn(const std::string& model, double latency_s) {
+  ++swap_ins;
+  swap_in_latency_s.Add(latency_s);
+  obs::IncCounter(obs_, kSwapsTotal,
+                  {{"direction", "in"}, {"trigger", "demand"}});
+  obs::Observe(obs_, kSwapLatency, {{"direction", "in"}, {"model", model}},
+               latency_s);
+}
 
 std::uint64_t Metrics::TotalCompleted() const {
   std::uint64_t total = 0;
@@ -17,6 +97,18 @@ std::uint64_t Metrics::TotalRejected() const {
 std::uint64_t Metrics::TotalFailed() const {
   std::uint64_t total = 0;
   for (const auto& [model, m] : per_model_) total += m.failed + m.expired;
+  return total;
+}
+
+std::uint64_t Metrics::TotalExpired() const {
+  std::uint64_t total = 0;
+  for (const auto& [model, m] : per_model_) total += m.expired;
+  return total;
+}
+
+std::int64_t Metrics::TotalOutputTokens() const {
+  std::int64_t total = 0;
+  for (const auto& [model, m] : per_model_) total += m.output_tokens;
   return total;
 }
 

@@ -1,4 +1,11 @@
 // Serving metrics: per-model latency distributions and system counters.
+//
+// Metrics is the single write path for request/swap outcomes: callers use
+// the Record* helpers, which update both the exact-percentile Samples the
+// bench tables print and — when BindObservability() was called — the
+// labeled registry in src/obs/ the Prometheus/JSON exporters read. Routing
+// both sinks through one call site is what keeps the old tables and the new
+// exporters from drifting apart.
 
 #pragma once
 
@@ -7,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observability.h"
 #include "util/stats.h"
 
 namespace swapserve::core {
@@ -33,6 +41,24 @@ class Metrics {
     return per_model_;
   }
 
+  // Mirror every Record* into the labeled registry (nullable; see
+  // obs/observability.h for the metric taxonomy).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
+  // --- request outcomes (one call per request, from the model worker /
+  // request handler) ----------------------------------------------------
+  void RecordCompleted(const std::string& model, double ttft_s,
+                       double total_s, double swap_wait_s,
+                       std::int64_t output_tokens);
+  void RecordRejected(const std::string& model);
+  void RecordFailed(const std::string& model);
+  void RecordExpired(const std::string& model);
+
+  // --- swap outcomes (from the engine controller) -----------------------
+  void RecordSwapOut(const std::string& model, double latency_s,
+                     bool preemption);
+  void RecordSwapIn(const std::string& model, double latency_s);
+
   // System-wide counters.
   std::uint64_t swap_ins = 0;
   std::uint64_t swap_outs = 0;
@@ -44,10 +70,13 @@ class Metrics {
   std::uint64_t TotalCompleted() const;
   std::uint64_t TotalRejected() const;
   std::uint64_t TotalFailed() const;
+  std::uint64_t TotalExpired() const;
+  std::int64_t TotalOutputTokens() const;
   Samples AllTtft() const;
 
  private:
   std::map<std::string, ModelMetrics> per_model_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace swapserve::core

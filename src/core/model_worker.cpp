@@ -34,10 +34,15 @@ sim::Task<> ModelWorker::Run() {
     // any resources on the request.
     if (item.request.deadline_s > 0 &&
         sim_.Now().ToSeconds() >= item.request.deadline_s) {
-      ++metrics_.ForModel(backend_.name()).expired;
+      metrics_.RecordExpired(backend_.name());
+      obs::Instant(obs_, "expire:deadline", "worker", backend_.name(),
+                   {{"request_id", std::to_string(item.request.id)}});
       RespondError(item, "client deadline expired while queued");
       continue;
     }
+    obs::SetGauge(obs_, "swapserve_queue_depth",
+                  {{"model", backend_.name()}},
+                  static_cast<double>(backend_.queue->size()));
 
     // ④⑩ Coordinate swap-in and forward concurrently, so the engine
     // batches while we keep polling the queue.
@@ -55,15 +60,21 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
   // scheduler guarantees a freshly swapped-in backend serves us before it
   // can be evicted again.
   const sim::SimTime t0 = sim_.Now();
+  obs::Span serve_span =
+      obs::StartSpan(obs_, "request.serve", "worker", backend_.name());
+  serve_span.AddArg("request_id", std::to_string(item.request.id));
+  obs::Observe(obs_, "swapserve_queue_wait_seconds",
+               {{"model", backend_.name()}},
+               t0.ToSeconds() - item.request.arrival_time_s);
   const bool was_resident =
       backend_.engine->state() == engine::BackendState::kRunning;
+  serve_span.AddArg("resident", was_resident ? "true" : "false");
   Result<sim::SimRwLock::SharedGuard> pin =
       co_await scheduler_.EnsureRunningAndPin(backend_);
   const double swap_wait_s =
       was_resident ? 0.0 : (sim_.Now() - t0).ToSeconds();
-  ModelMetrics& mm = metrics_.ForModel(backend_.name());
   if (!pin.ok()) {
-    ++mm.failed;
+    metrics_.RecordFailed(backend_.name());
     RespondError(item, "swap-in failed: " + pin.status().ToString());
     co_return;
   }
@@ -80,7 +91,7 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
   pin->Release();
 
   if (!result.ok()) {
-    ++mm.failed;
+    metrics_.RecordFailed(backend_.name());
     RespondError(item, result.status().ToString());
     co_return;
   }
@@ -109,16 +120,8 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
   (void)item.response->TrySend(std::move(done));
   item.response->Close();
 
-  ++mm.completed;
-  mm.output_tokens += result->output_tokens;
-  mm.ttft_s.Add(ttft_s);
-  mm.total_s.Add(total_s);
-  mm.swap_wait_s.Add(swap_wait_s);
-  if (swap_wait_s > 0) {
-    ++mm.served_after_swap_in;
-  } else {
-    ++mm.served_resident;
-  }
+  metrics_.RecordCompleted(backend_.name(), ttft_s, total_s, swap_wait_s,
+                           result->output_tokens);
 }
 
 }  // namespace swapserve::core

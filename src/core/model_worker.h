@@ -29,6 +29,9 @@ class ModelWorker {
   // Relays (forwarded requests) still in flight.
   int active_relays() const { return active_relays_; }
 
+  // Emit per-request serve spans and queue-wait histograms (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
   sim::Task<> Run();
   sim::Task<> Relay(QueuedRequest item);
@@ -38,6 +41,7 @@ class ModelWorker {
   Backend& backend_;
   Scheduler& scheduler_;
   Metrics& metrics_;
+  obs::Observability* obs_ = nullptr;
   bool running_ = false;
   int active_relays_ = 0;
 };

@@ -35,9 +35,13 @@ Result<ResponseChannelPtr> RequestHandler::Accept(InferenceRequest request) {
   auto channel = std::make_shared<ResponseChannel>(sim_, /*capacity=*/128);
   QueuedRequest item{.request = request, .response = channel};
   if (!backend->queue->TrySend(std::move(item))) {
-    ++metrics_.ForModel(request.model).rejected;
+    metrics_.RecordRejected(request.model);
+    obs::Instant(obs_, "reject:queue_full", "handler", request.model,
+                 {{"request_id", std::to_string(request.id)}});
     return ResourceExhausted("queue for " + request.model + " is full");
   }
+  obs::SetGauge(obs_, "swapserve_queue_depth", {{"model", request.model}},
+                static_cast<double>(backend->queue->size()));
   SWAP_LOG(kDebug, "handler") << "accepted request " << request.id << " for "
                               << request.model;
   return channel;

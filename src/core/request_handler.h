@@ -36,7 +36,11 @@ class RequestHandler {
     return backends_;
   }
 
+  // Emit admission instants + per-model queue-depth gauges (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
+  obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   GlobalConfig global_;
   Metrics& metrics_;

@@ -5,54 +5,88 @@
 namespace swapserve::core {
 
 std::int64_t OpenAiRouter::EstimatePromptTokens(const json::Value& messages) {
+  if (!messages.is_array()) return 1;
   std::int64_t chars = 0;
   std::int64_t message_count = 0;
   for (const json::Value& msg : messages.AsArray()) {
+    if (!msg.is_object()) continue;
     ++message_count;
     const json::Value* content = msg.Find("content");
-    if (content != nullptr && content->is_string()) {
+    if (content == nullptr) continue;
+    if (content->is_string()) {
       chars += static_cast<std::int64_t>(content->AsString().size());
+    } else if (content->is_array()) {
+      // OpenAI content-part form: [{"type":"text","text":"..."}, ...].
+      // Non-text parts (image_url, audio) carry no countable characters.
+      for (const json::Value& part : content->AsArray()) {
+        if (!part.is_object()) continue;
+        const json::Value* text = part.Find("text");
+        if (text != nullptr && text->is_string()) {
+          chars += static_cast<std::int64_t>(text->AsString().size());
+        }
+      }
     }
+    // Numbers, booleans, null, bare objects: nothing countable.
   }
   return std::max<std::int64_t>(1, chars / 4 + message_count * 4);
 }
 
 Result<ResponseChannelPtr> OpenAiRouter::ChatCompletions(
     const std::string& body_json, const std::string& bearer_token) {
-  const std::string& expected = handler_.global().auth_token;
-  if (!expected.empty() && bearer_token != expected) {
-    return FailedPrecondition("invalid authentication token");
+  obs::Span api_span = obs::StartSpan(obs_, "router.chat_completions",
+                                      "router", "router");
+  const auto fail = [this](const char* outcome, Status status) {
+    obs::IncCounter(obs_, "swapserve_router_requests_total",
+                    {{"outcome", outcome}});
+    return status;
+  };
+
+  {
+    obs::Span auth_span = obs::StartSpan(obs_, "auth", "router", "router");
+    const std::string& expected = handler_.global().auth_token;
+    if (!expected.empty() && bearer_token != expected) {
+      return fail("unauthenticated",
+                  FailedPrecondition("invalid authentication token"));
+    }
   }
 
-  SWAP_ASSIGN_OR_RETURN(json::Value body, json::Parse(body_json));
+  obs::Span validate_span =
+      obs::StartSpan(obs_, "validate", "router", "router");
+  Result<json::Value> parsed = json::Parse(body_json);
+  if (!parsed.ok()) return fail("invalid", parsed.status());
+  json::Value body = std::move(*parsed);
   if (!body.is_object()) {
-    return InvalidArgument("request body must be a JSON object");
+    return fail("invalid",
+                InvalidArgument("request body must be a JSON object"));
   }
 
   const std::string model = body.GetString("model", "");
   if (model.empty()) {
-    return InvalidArgument("missing required field: model");
+    return fail("invalid", InvalidArgument("missing required field: model"));
   }
 
   const json::Value* messages = body.Find("messages");
   if (messages == nullptr || !messages->is_array() ||
       messages->AsArray().empty()) {
-    return InvalidArgument("messages must be a non-empty array");
+    return fail("invalid",
+                InvalidArgument("messages must be a non-empty array"));
   }
   for (const json::Value& msg : messages->AsArray()) {
     if (!msg.is_object() || msg.GetString("role", "").empty()) {
-      return InvalidArgument("each message needs a role");
+      return fail("invalid", InvalidArgument("each message needs a role"));
     }
   }
 
   const double temperature = body.GetDouble("temperature", 0.0);
   if (temperature < 0.0 || temperature > 2.0) {
-    return InvalidArgument("temperature must be in [0, 2]");
+    return fail("invalid", InvalidArgument("temperature must be in [0, 2]"));
   }
   const std::int64_t max_tokens = body.GetInt("max_tokens", 512);
   if (max_tokens <= 0 || max_tokens > 16384) {
-    return InvalidArgument("max_tokens must be in [1, 16384]");
+    return fail("invalid",
+                InvalidArgument("max_tokens must be in [1, 16384]"));
   }
+  validate_span.End();
 
   InferenceRequest request;
   request.model = model;
@@ -61,7 +95,18 @@ Result<ResponseChannelPtr> OpenAiRouter::ChatCompletions(
   request.temperature = temperature;
   request.seed = static_cast<std::uint64_t>(body.GetInt("seed", 0));
   request.stream = body.GetBool("stream", true);
-  return handler_.Accept(std::move(request));
+
+  obs::Span enqueue_span =
+      obs::StartSpan(obs_, "enqueue", "router", "router");
+  enqueue_span.AddArg("model", model);
+  Result<ResponseChannelPtr> accepted = handler_.Accept(std::move(request));
+  if (!accepted.ok()) {
+    const bool full = accepted.status().code() == StatusCode::kResourceExhausted;
+    return fail(full ? "queue_full" : "not_found", accepted.status());
+  }
+  obs::IncCounter(obs_, "swapserve_router_requests_total",
+                  {{"outcome", "accepted"}});
+  return accepted;
 }
 
 json::Value OpenAiRouter::ListModels() const {

@@ -41,11 +41,18 @@ class OpenAiRouter {
   json::Value ListModels() const;
 
   // Rough BPE estimate used when the payload does not carry token counts:
-  // ~4 characters per token, plus a small per-message overhead.
+  // ~4 characters per token, plus a small per-message overhead. Accepts
+  // both plain string content and OpenAI content-part arrays (each part's
+  // "text" field counts); non-string scalar content is ignored. A value
+  // that is not an array of messages estimates to the 1-token floor.
   static std::int64_t EstimatePromptTokens(const json::Value& messages);
+
+  // Emit auth/validate/enqueue spans and outcome counters (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
  private:
   RequestHandler& handler_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace swapserve::core

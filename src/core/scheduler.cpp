@@ -48,23 +48,36 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
     // §3.4/§6: reserve the GPU memory saved at swap-out — one scoped
     // reservation per device in the tensor-parallel group, acquired in
     // ascending device order so overlapping groups cannot deadlock.
+    obs::Span place_span = obs::StartSpan(obs_, "scheduler.place",
+                                          "scheduler", backend.name());
+    place_span.AddArg("bytes",
+                      std::to_string(backend.resident_bytes.count()));
+    const sim::SimTime reserve_start = sim_.Now();
     const std::vector<hw::GpuId> gpu_ids = backend.GpuIds();
     const auto tp = static_cast<std::int64_t>(gpu_ids.size());
     const Bytes per_gpu(backend.resident_bytes.count() / tp);
     const Bytes first_gpu = per_gpu + (backend.resident_bytes - per_gpu * tp);
     std::vector<TaskManager::Reservation> reservations;
     Status status = Status::Ok();
-    for (std::size_t rank = 0; rank < gpu_ids.size(); ++rank) {
-      Result<TaskManager::Reservation> reservation =
-          co_await task_manager_.Reserve(
-              gpu_ids[rank], rank == 0 ? first_gpu : per_gpu,
-              backend.name());
-      if (!reservation.ok()) {
-        status = reservation.status();
-        break;
+    {
+      obs::Span reserve_span = obs::StartSpan(obs_, "scheduler.reserve",
+                                              "scheduler", backend.name());
+      for (std::size_t rank = 0; rank < gpu_ids.size(); ++rank) {
+        Result<TaskManager::Reservation> reservation =
+            co_await task_manager_.Reserve(
+                gpu_ids[rank], rank == 0 ? first_gpu : per_gpu,
+                backend.name());
+        if (!reservation.ok()) {
+          status = reservation.status();
+          break;
+        }
+        reservations.push_back(std::move(*reservation));
       }
-      reservations.push_back(std::move(*reservation));
+      reserve_span.AddArg("status", status.ok() ? "ok" : "failed");
     }
+    obs::Observe(obs_, "swapserve_reservation_wait_seconds",
+                 {{"model", backend.name()}},
+                 (sim_.Now() - reserve_start).ToSeconds());
     if (!status.ok()) {
       SWAP_LOG(kWarning, "scheduler")
           << "reservation for " << backend.name() << " failed: " << status;

@@ -35,7 +35,11 @@ class Scheduler {
   sim::Task<Result<sim::SimRwLock::SharedGuard>> EnsureRunningAndPin(
       Backend& backend);
 
+  // Emit placement spans + reservation-wait histograms (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
+  obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   TaskManager& task_manager_;
   EngineController& controller_;

@@ -15,6 +15,7 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
       config_(std::move(config)),
       hardware_(hardware),
       options_(options),
+      obs_(sim),
       snapshot_store_(GiB(config_.global.snapshot_budget_gib)),
       ckpt_engine_(sim, snapshot_store_),
       task_manager_(sim, hardware_.gpus),
@@ -30,6 +31,22 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
           .ok(),
       "SwapServe constructed with invalid config; call Config::Validate");
   task_manager_.set_delegate(&controller_);
+
+  // One Observability threads through every layer; components stay usable
+  // without it (tests construct them directly).
+  metrics_.BindObservability(&obs_);
+  snapshot_store_.BindObservability(&obs_);
+  ckpt_engine_.BindObservability(&obs_);
+  task_manager_.BindObservability(&obs_);
+  controller_.BindObservability(&obs_);
+  scheduler_.BindObservability(&obs_);
+  handler_.BindObservability(&obs_);
+  router_.BindObservability(&obs_);
+  admin_.set_observability(&obs_);
+  for (hw::GpuDevice* gpu : hardware_.gpus) gpu->BindObservability(&obs_);
+  if (hardware_.storage != nullptr) {
+    hardware_.storage->BindObservability(&obs_);
+  }
 
   for (const ModelEntry& entry : config_.models) {
     model::ModelSpec spec = catalog.Find(entry.model_id).value();
@@ -64,6 +81,7 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
 
   monitor_ = std::make_unique<hw::GpuMonitor>(
       sim_, hardware_.gpus, sim::Seconds(config_.global.monitor_interval_s));
+  monitor_->BindObservability(&obs_);
 }
 
 sim::Task<Status> SwapServe::Initialize() {
@@ -110,6 +128,7 @@ sim::Task<Status> SwapServe::Initialize() {
   for (const std::unique_ptr<Backend>& backend : backends_) {
     workers_.push_back(std::make_unique<ModelWorker>(
         sim_, *backend, scheduler_, metrics_));
+    workers_.back()->BindObservability(&obs_);
     workers_.back()->Start();
   }
   monitor_->Start();

@@ -30,6 +30,7 @@
 #include "hw/gpu_monitor.h"
 #include "hw/link.h"
 #include "model/catalog.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "util/status.h"
 
@@ -80,6 +81,7 @@ class SwapServe {
   Backend* backend(const std::string& model_id);
   std::vector<Backend*> backends();
   Metrics& metrics() { return metrics_; }
+  obs::Observability& obs() { return obs_; }
   TaskManager& task_manager() { return task_manager_; }
   EngineController& controller() { return controller_; }
   Scheduler& scheduler() { return scheduler_; }
@@ -93,6 +95,7 @@ class SwapServe {
   Hardware hardware_;
   SwapServeOptions options_;
 
+  obs::Observability obs_;
   Metrics metrics_;
   ckpt::SnapshotStore snapshot_store_;
   ckpt::CheckpointEngine ckpt_engine_;

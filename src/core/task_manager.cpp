@@ -55,8 +55,15 @@ sim::Task<Result<TaskManager::Reservation>> TaskManager::Reserve(
   waiter.owner = std::move(owner);
   waiter.bytes = bytes;
   q.waiters.push_back(&waiter);
+  obs::Span wait_span = obs::StartSpan(obs_, "tm.reserve_wait", "task-mgr",
+                                       "gpu" + std::to_string(gpu));
+  wait_span.AddArg("owner", waiter.owner);
+  wait_span.AddArg("bytes", std::to_string(bytes.count()));
+  PublishGauges(gpu);
   Pump(gpu);
   co_await waiter.event.Wait();
+  wait_span.AddArg("status", waiter.granted ? "granted" : "failed");
+  wait_span.End();
 
   if (!waiter.granted) co_return waiter.failure;
   co_return Reservation(this, gpu, bytes);
@@ -66,7 +73,18 @@ void TaskManager::ReleaseReservation(hw::GpuId gpu, Bytes bytes) {
   GpuQueue& q = Queue(gpu);
   SWAP_CHECK_MSG(q.outstanding >= bytes, "reservation over-release");
   q.outstanding -= bytes;
+  PublishGauges(gpu);
   Pump(gpu);
+}
+
+void TaskManager::PublishGauges(hw::GpuId gpu) {
+  if (obs_ == nullptr) return;
+  const GpuQueue& q = Queue(gpu);
+  const obs::LabelSet labels = {{"gpu", std::to_string(gpu)}};
+  obs::SetGauge(obs_, "swapserve_gpu_reserved_bytes", labels,
+                static_cast<double>(q.outstanding.count()));
+  obs::SetGauge(obs_, "swapserve_reservation_queue_depth", labels,
+                static_cast<double>(q.waiters.size()));
 }
 
 void TaskManager::Pump(hw::GpuId gpu) {
@@ -77,6 +95,7 @@ void TaskManager::Pump(hw::GpuId gpu) {
       q.outstanding += head->bytes;
       head->granted = true;
       q.waiters.pop_front();
+      PublishGauges(gpu);
       head->event.Set();
       continue;
     }
@@ -104,6 +123,8 @@ sim::Task<> TaskManager::ReclaimForHead(hw::GpuId gpu) {
 
   Bytes freed(0);
   if (delegate_ != nullptr && needed.count() > 0) {
+    obs::IncCounter(obs_, "swapserve_reclaims_total",
+                    {{"gpu", std::to_string(gpu)}});
     freed = co_await delegate_->ReclaimMemory(gpu, needed, head->owner);
   }
   q.reclaiming = false;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/gpu_device.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -97,6 +98,10 @@ class TaskManager {
   // controller calls this after a swap-out frees device memory).
   void NotifyMemoryReleased(hw::GpuId gpu) { Pump(gpu); }
 
+  // Emit reserve-wait spans, reserved-bytes gauges, and reclaim counters
+  // (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
   struct Waiter {
     std::string owner;
@@ -119,7 +124,9 @@ class TaskManager {
   sim::Task<> ReclaimForHead(hw::GpuId gpu);
   GpuQueue& Queue(hw::GpuId gpu);
   const GpuQueue& Queue(hw::GpuId gpu) const;
+  void PublishGauges(hw::GpuId gpu);
 
+  obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   std::vector<hw::GpuDevice*> gpus_;
   std::map<hw::GpuId, GpuQueue> queues_;

@@ -7,6 +7,22 @@ namespace swapserve::hw {
 GpuDevice::GpuDevice(sim::Simulation& sim, GpuId id, GpuSpec spec)
     : sim_(sim), id_(id), spec_(std::move(spec)), used_(0) {}
 
+void GpuDevice::BindObservability(obs::Observability* obs) {
+  obs_ = obs;
+  PublishMemoryGauges();
+}
+
+void GpuDevice::PublishMemoryGauges() {
+  if (obs_ == nullptr) return;
+  const obs::LabelSet labels = {{"gpu", std::to_string(id_)}};
+  obs::SetGauge(obs_, "swapserve_gpu_used_bytes", labels,
+                static_cast<double>(used_.count()));
+  obs::SetGauge(obs_, "swapserve_gpu_capacity_bytes", labels,
+                static_cast<double>(spec_.memory.count()));
+  obs::SetGauge(obs_, "swapserve_gpu_allocations", labels,
+                static_cast<double>(allocations_.size()));
+}
+
 Result<AllocationId> GpuDevice::Allocate(const std::string& owner, Bytes size,
                                          const std::string& purpose) {
   SWAP_CHECK_MSG(size.count() >= 0, "negative allocation");
@@ -19,6 +35,7 @@ Result<AllocationId> GpuDevice::Allocate(const std::string& owner, Bytes size,
   const AllocationId id = next_allocation_id_++;
   allocations_.emplace(id, Allocation{owner, size, purpose});
   used_ += size;
+  PublishMemoryGauges();
   return id;
 }
 
@@ -29,6 +46,7 @@ Status GpuDevice::Free(AllocationId id) {
   }
   used_ -= it->second.size;
   allocations_.erase(it);
+  PublishMemoryGauges();
   return Status::Ok();
 }
 
@@ -43,6 +61,7 @@ Bytes GpuDevice::FreeAllOwnedBy(const std::string& owner) {
     }
   }
   used_ -= freed;
+  PublishMemoryGauges();
   return freed;
 }
 

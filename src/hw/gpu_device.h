@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hw/gpu_spec.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "util/status.h"
 #include "util/units.h"
@@ -31,6 +32,9 @@ class GpuDevice {
 
   GpuId id() const { return id_; }
   const GpuSpec& spec() const { return spec_; }
+
+  // Publish memory-occupancy gauges to the telemetry registry (nullable).
+  void BindObservability(obs::Observability* obs);
   Bytes capacity() const { return spec_.memory; }
   Bytes used() const { return used_; }
   Bytes free() const { return spec_.memory - used_; }
@@ -97,6 +101,9 @@ class GpuDevice {
     std::string purpose;
   };
 
+  void PublishMemoryGauges();
+
+  obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   GpuId id_;
   GpuSpec spec_;

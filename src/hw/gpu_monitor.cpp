@@ -39,6 +39,8 @@ sim::Task<> GpuMonitor::SampleLoop() {
       snapshot_time_[i] = sim_.Now();
       memory_series_[i].Record(now_s, gpu.used().AsGiB());
       util_series_[i].Record(now_s, util);
+      obs::SetGauge(obs_, "swapserve_gpu_utilization",
+                    {{"gpu", std::to_string(gpu.id())}}, util);
     }
   }
 }

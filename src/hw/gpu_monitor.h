@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hw/gpu_device.h"
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "util/stats.h"
@@ -25,6 +26,9 @@ class GpuMonitor {
   // Spawn the sampling loop.
   void Start();
   void Stop() { running_ = false; }
+
+  // Publish per-GPU utilization gauges each sample (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
   // Instantaneous queries used for scheduling decisions.
   Bytes FreeMemory(GpuId id) const;
@@ -48,6 +52,7 @@ class GpuMonitor {
   std::vector<GpuDevice*> gpus_;
   sim::SimDuration interval_;
   bool running_ = false;
+  obs::Observability* obs_ = nullptr;
 
   std::vector<TimeSeries> memory_series_;
   std::vector<TimeSeries> util_series_;

@@ -14,13 +14,31 @@ Link::Link(sim::Simulation& sim, std::string name, BytesPerSecond bandwidth,
 
 sim::Task<> Link::Transfer(Bytes size) {
   ++in_flight_;
+  const obs::LabelSet labels = {{"link", name_}};
+  obs::SetGauge(obs_, "swapserve_link_in_flight", labels,
+                static_cast<double>(in_flight_));
+  obs::Span span =
+      obs::StartSpan(obs_, "transfer", "link", "link:" + name_);
+  span.AddArg("bytes", std::to_string(size.count()));
   {
     auto guard = co_await busy_.Acquire();  // FIFO DMA queue
-    co_await sim_.Delay(setup_latency_ + IdleTransferTime(size));
+    const sim::SimDuration wire =
+        setup_latency_ + IdleTransferTime(size);
+    co_await sim_.Delay(wire);
     total_ += size;
     ++transfers_;
+    if (obs_ != nullptr) {
+      obs::IncCounter(obs_, "swapserve_link_transferred_bytes_total",
+                      labels, static_cast<double>(size.count()));
+      // Wire-occupancy accumulator: rate() of this against wall time is
+      // the link's bandwidth occupancy.
+      obs::IncCounter(obs_, "swapserve_link_busy_seconds_total", labels,
+                      wire.ToSeconds());
+    }
   }
   --in_flight_;
+  obs::SetGauge(obs_, "swapserve_link_in_flight", labels,
+                static_cast<double>(in_flight_));
 }
 
 sim::SimDuration Link::IdleTransferTime(Bytes size) const {

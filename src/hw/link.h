@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -38,7 +39,13 @@ class Link {
   // link? Used by admission-control heuristics.
   sim::SimDuration IdleTransferTime(Bytes size) const;
 
+  // Publish per-link bandwidth-occupancy gauges and transfer spans
+  // (nullable). Occupancy is derived as busy-seconds over wall-seconds;
+  // the cumulative counter lets scrapers rate() it.
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
+  obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   std::string name_;
   BytesPerSecond bandwidth_;
@@ -66,6 +73,9 @@ class StorageDevice {
   const std::string& name() const { return name_; }
   Bytes total_read() const { return link_.total_transferred(); }
   Link& link() { return link_; }
+  void BindObservability(obs::Observability* obs) {
+    link_.BindObservability(obs);
+  }
 
  private:
   sim::Simulation& sim_;

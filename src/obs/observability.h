@@ -1,0 +1,71 @@
+// The observability context handed through the serving stack.
+//
+// SwapServe owns one Observability; every instrumented component (router,
+// request handler, scheduler, task manager, engine controller, checkpoint
+// engine, snapshot store, GPU devices, links, monitor) holds a nullable
+// pointer to it. The helpers below are null-safe so instrumentation reads
+// as one line at the call site and compiles to nothing observable when the
+// component runs without telemetry (unit tests that construct layers
+// directly).
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace swapserve::obs {
+
+struct Observability {
+  explicit Observability(
+      sim::Simulation& sim,
+      std::size_t trace_capacity = TraceRecorder::kDefaultCapacity)
+      : trace(sim, trace_capacity) {}
+
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+};
+
+// --- null-safe instrumentation helpers ---------------------------------
+
+inline Span StartSpan(Observability* obs, std::string name,
+                      std::string category, std::string track) {
+  if (obs == nullptr) return Span();
+  return obs->trace.StartSpan(std::move(name), std::move(category),
+                              std::move(track));
+}
+
+inline void Instant(
+    Observability* obs, std::string name, std::string category,
+    std::string track,
+    std::vector<std::pair<std::string, std::string>> args = {}) {
+  if (obs == nullptr) return;
+  obs->trace.Instant(std::move(name), std::move(category), std::move(track),
+                     std::move(args));
+}
+
+inline void IncCounter(Observability* obs, const std::string& name,
+                       const LabelSet& labels = {}, double delta = 1.0) {
+  if (obs == nullptr) return;
+  obs->metrics.GetCounter(name, labels).Increment(delta);
+}
+
+inline void SetGauge(Observability* obs, const std::string& name,
+                     const LabelSet& labels, double value) {
+  if (obs == nullptr) return;
+  obs->metrics.GetGauge(name, labels).Set(value);
+}
+
+inline void Observe(Observability* obs, const std::string& name,
+                    const LabelSet& labels, double value,
+                    const std::vector<double>& upper_bounds =
+                        DefaultLatencyBuckets()) {
+  if (obs == nullptr) return;
+  obs->metrics.GetHistogram(name, labels, upper_bounds).Observe(value);
+}
+
+}  // namespace swapserve::obs

@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace swapserve::obs {
+
+Span::Span(TraceRecorder* recorder, std::string name, std::string category,
+           std::string track) {
+  if (recorder == nullptr || !recorder->enabled()) return;
+  recorder_ = recorder;
+  event_.phase = TraceEvent::Phase::kComplete;
+  event_.ts_ns = recorder->Now().ns();
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.track = std::move(track);
+}
+
+void Span::AddArg(std::string key, std::string value) {
+  if (recorder_ == nullptr) return;
+  event_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::End() {
+  if (recorder_ == nullptr) return;
+  TraceRecorder* rec = std::exchange(recorder_, nullptr);
+  event_.dur_ns = rec->Now().ns() - event_.ts_ns;
+  rec->Emit(std::move(event_));
+}
+
+TraceRecorder::TraceRecorder(sim::Simulation& sim, std::size_t capacity)
+    : sim_(sim), ring_(capacity) {
+  SWAP_CHECK_MSG(capacity > 0, "trace ring needs a positive capacity");
+}
+
+void TraceRecorder::Emit(TraceEvent event) {
+  if (!enabled_) return;
+  const std::uint64_t slot =
+      cursor_.fetch_add(1, std::memory_order_relaxed);
+  ring_[static_cast<std::size_t>(slot % ring_.size())] = std::move(event);
+}
+
+void TraceRecorder::Instant(
+    std::string name, std::string category, std::string track,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.ts_ns = sim_.Now().ns();
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.track = std::move(track);
+  ev.args = std::move(args);
+  Emit(std::move(ev));
+}
+
+std::size_t TraceRecorder::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_emitted(), ring_.size()));
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const std::uint64_t total = total_emitted();
+  return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  const std::uint64_t total = total_emitted();
+  const std::uint64_t cap = ring_.size();
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(std::min(total, cap)));
+  const std::uint64_t first = total > cap ? total - cap : 0;
+  for (std::uint64_t i = first; i < total; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % cap)]);
+  }
+  return out;
+}
+
+}  // namespace swapserve::obs

@@ -153,6 +153,52 @@ TEST(RouterTest, TokenEstimationMinimumOne) {
   EXPECT_EQ(OpenAiRouter::EstimatePromptTokens(messages), 1);
 }
 
+TEST(RouterTest, TokenEstimationNonArrayFloorsToOne) {
+  EXPECT_EQ(OpenAiRouter::EstimatePromptTokens(json::Value("a string")), 1);
+  EXPECT_EQ(OpenAiRouter::EstimatePromptTokens(json::Value(7.0)), 1);
+  EXPECT_EQ(OpenAiRouter::EstimatePromptTokens(json::Value::MakeObject()),
+            1);
+  EXPECT_EQ(OpenAiRouter::EstimatePromptTokens(json::Value()), 1);
+}
+
+TEST(RouterTest, TokenEstimationIgnoresNonStringContent) {
+  json::Value messages = json::Value::MakeArray();
+  json::Value numeric = json::Value::MakeObject();
+  numeric["role"] = json::Value("user");
+  numeric["content"] = json::Value(12345.0);
+  messages.PushBack(std::move(numeric));
+  json::Value absent = json::Value::MakeObject();
+  absent["role"] = json::Value("assistant");
+  messages.PushBack(std::move(absent));
+  // Non-message entries in the array don't count toward overhead.
+  messages.PushBack(json::Value("stray"));
+  // 0 chars, 2 well-formed messages * 4 overhead.
+  EXPECT_EQ(OpenAiRouter::EstimatePromptTokens(messages), 8);
+}
+
+TEST(RouterTest, TokenEstimationSumsContentParts) {
+  json::Value parts = json::Value::MakeArray();
+  json::Value text1 = json::Value::MakeObject();
+  text1["type"] = json::Value("text");
+  text1["text"] = json::Value(std::string(200, 'a'));
+  parts.PushBack(std::move(text1));
+  json::Value image = json::Value::MakeObject();
+  image["type"] = json::Value("image_url");
+  parts.PushBack(std::move(image));
+  json::Value text2 = json::Value::MakeObject();
+  text2["type"] = json::Value("text");
+  text2["text"] = json::Value(std::string(200, 'b'));
+  parts.PushBack(std::move(text2));
+
+  json::Value msg = json::Value::MakeObject();
+  msg["role"] = json::Value("user");
+  msg["content"] = std::move(parts);
+  json::Value messages = json::Value::MakeArray();
+  messages.PushBack(std::move(msg));
+  // 400 chars across text parts / 4 + 1 message * 4 = 104.
+  EXPECT_EQ(OpenAiRouter::EstimatePromptTokens(messages), 104);
+}
+
 TEST(RouterTest, ListModelsReflectsState) {
   TestBed bed;
   RouterBed rb(bed);

@@ -1,0 +1,159 @@
+// Exporter tests: the Chrome trace JSON must parse and carry track
+// metadata; the Prometheus text must follow the exposition format.
+
+#include "obs/exporters.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace swapserve::obs {
+namespace {
+
+const json::Value* FindEvent(const json::Value& doc, const std::string& name) {
+  for (const json::Value& ev : doc.Find("traceEvents")->AsArray()) {
+    if (ev.GetString("name", "") == name) return &ev;
+  }
+  return nullptr;
+}
+
+TEST(ChromeTraceExportTest, EventsAndTrackMetadata) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/16);
+  Span span;
+  sim.Schedule(sim::Seconds(1), [&] {
+    span = rec.StartSpan("h2d", "ckpt", "model-a");
+    span.AddArg("bytes", "1024");
+  });
+  sim.Schedule(sim::Seconds(3), [&] {
+    span.End();
+    rec.Instant("preempt", "controller", "gpu0");
+  });
+  sim.Run();
+
+  const json::Value doc = TraceToChromeJson(rec);
+  EXPECT_EQ(doc.GetString("displayTimeUnit", ""), "ms");
+
+  const json::Value* complete = FindEvent(doc, "h2d");
+  ASSERT_NE(complete, nullptr);
+  EXPECT_EQ(complete->GetString("ph", ""), "X");
+  EXPECT_EQ(complete->GetString("cat", ""), "ckpt");
+  // ts/dur are microseconds.
+  EXPECT_DOUBLE_EQ(complete->GetDouble("ts", -1), 1e6);
+  EXPECT_DOUBLE_EQ(complete->GetDouble("dur", -1), 2e6);
+  EXPECT_EQ(complete->Find("args")->GetString("bytes", ""), "1024");
+
+  const json::Value* instant = FindEvent(doc, "preempt");
+  ASSERT_NE(instant, nullptr);
+  EXPECT_EQ(instant->GetString("ph", ""), "i");
+  EXPECT_EQ(instant->GetString("s", ""), "t");
+
+  // Both tracks surface as thread_name metadata with distinct tids.
+  int thread_names = 0;
+  for (const json::Value& ev : doc.Find("traceEvents")->AsArray()) {
+    if (ev.GetString("name", "") == "thread_name") {
+      ++thread_names;
+      const std::string track = ev.Find("args")->GetString("name", "");
+      EXPECT_TRUE(track == "model-a" || track == "gpu0");
+    }
+  }
+  EXPECT_EQ(thread_names, 2);
+
+  // The streamed form parses back as JSON.
+  std::ostringstream os;
+  WriteChromeTrace(rec, os);
+  Result<json::Value> reparsed = json::Parse(os.str());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(FindEvent(*reparsed, "h2d")->GetString("ph", ""), "X");
+}
+
+TEST(PrometheusExportTest, CountersGaugesAndTypes) {
+  MetricsRegistry reg;
+  reg.GetCounter("swapserve_swaps_total",
+                 {{"direction", "in"}, {"trigger", "demand"}})
+      .Increment(3);
+  reg.SetHelp("swapserve_swaps_total", "Swap operations");
+  reg.GetGauge("swapserve_gpu_used_bytes", {{"gpu", "0"}}).Set(1.5e9);
+
+  const std::string text = ToPrometheusText(reg);
+  EXPECT_NE(text.find("# HELP swapserve_swaps_total Swap operations\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE swapserve_swaps_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "swapserve_swaps_total{direction=\"in\",trigger=\"demand\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE swapserve_gpu_used_bytes gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("swapserve_gpu_used_bytes{gpu=\"0\"} 1500000000\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  HistogramMetric& h =
+      reg.GetHistogram("ttft_seconds", {{"model", "m1"}}, {0.1, 1.0});
+  h.Observe(0.05);
+  h.Observe(0.5);
+  h.Observe(10.0);
+
+  const std::string text = ToPrometheusText(reg);
+  EXPECT_NE(text.find("# TYPE ttft_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ttft_seconds_bucket{model=\"m1\",le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ttft_seconds_bucket{model=\"m1\",le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ttft_seconds_bucket{model=\"m1\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ttft_seconds_sum{model=\"m1\"} 10.55\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ttft_seconds_count{model=\"m1\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("weird", {{"path", "a\\b\"c\nd"}}).Increment();
+  const std::string text = ToPrometheusText(reg);
+  EXPECT_NE(text.find("weird{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsJsonExportTest, SnapshotStructure) {
+  MetricsRegistry reg;
+  reg.GetCounter("requests", {{"model", "m1"}}).Increment(2);
+  reg.GetHistogram("lat", {}, {1.0}).Observe(0.5);
+
+  const json::Value doc = MetricsToJson(reg);
+  EXPECT_EQ(doc.GetInt("series_count", -1), 2);
+  const auto& families = doc.Find("families")->AsArray();
+  ASSERT_EQ(families.size(), 2u);
+  // Name-ordered: "lat" then "requests".
+  EXPECT_EQ(families[0].GetString("name", ""), "lat");
+  EXPECT_EQ(families[0].GetString("type", ""), "histogram");
+  const auto& lat_series = families[0].Find("series")->AsArray();
+  ASSERT_EQ(lat_series.size(), 1u);
+  EXPECT_EQ(lat_series[0].GetInt("count", -1), 1);
+  EXPECT_DOUBLE_EQ(lat_series[0].GetDouble("sum", -1), 0.5);
+  ASSERT_EQ(lat_series[0].Find("buckets")->AsArray().size(), 1u);
+
+  EXPECT_EQ(families[1].GetString("name", ""), "requests");
+  const auto& req_series = families[1].Find("series")->AsArray();
+  ASSERT_EQ(req_series.size(), 1u);
+  EXPECT_DOUBLE_EQ(req_series[0].GetDouble("value", -1), 2.0);
+  EXPECT_EQ(req_series[0].Find("labels")->GetString("model", ""), "m1");
+
+  // The snapshot itself serializes to valid JSON.
+  Result<json::Value> reparsed = json::Parse(doc.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->GetInt("series_count", -1), 2);
+}
+
+}  // namespace
+}  // namespace swapserve::obs

@@ -1,0 +1,111 @@
+// Metrics registry tests: fetch-or-create semantics, label
+// canonicalization, and histogram bucket accounting.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve::obs {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.Increment();
+  c.Increment(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10.0);
+  g.Add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(HistogramMetricTest, CumulativeBuckets) {
+  HistogramMetric h({1.0, 5.0, 10.0});
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0 (inclusive ceiling)
+  h.Observe(3.0);   // bucket 1
+  h.Observe(100.0); // +Inf overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_EQ(h.CumulativeCount(0), 2u);
+  EXPECT_EQ(h.CumulativeCount(1), 3u);
+  EXPECT_EQ(h.CumulativeCount(2), 3u);  // 100 is only in +Inf
+}
+
+TEST(MetricsRegistryTest, FetchOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("requests", {{"model", "m1"}});
+  a.Increment();
+  Counter& b = reg.GetCounter("requests", {{"model", "m1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+  // A different label set is a distinct series under the same family.
+  Counter& c = reg.GetCounter("requests", {{"model", "m2"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.family_count(), 1u);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter& a =
+      reg.GetCounter("swaps", {{"direction", "in"}, {"model", "m1"}});
+  Counter& b =
+      reg.GetCounter("swaps", {{"model", "m1"}, {"direction", "in"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelKeyCanonicalizes) {
+  EXPECT_EQ(MetricsRegistry::LabelKey({{"b", "2"}, {"a", "1"}}),
+            "a=1,b=2");
+  EXPECT_EQ(MetricsRegistry::LabelKey({}), "");
+}
+
+TEST(MetricsRegistryTest, HistogramKeepsBoundsAcrossFetches) {
+  MetricsRegistry reg;
+  HistogramMetric& h =
+      reg.GetHistogram("lat", {{"model", "m1"}}, {0.1, 1.0});
+  h.Observe(0.05);
+  HistogramMetric& again =
+      reg.GetHistogram("lat", {{"model", "m1"}}, {0.1, 1.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.count(), 1u);
+  ASSERT_EQ(again.upper_bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(again.upper_bounds()[0], 0.1);
+}
+
+TEST(MetricsRegistryTest, SetHelpSurvivesAndIsIdempotent) {
+  MetricsRegistry reg;
+  reg.GetGauge("used_bytes", {{"gpu", "0"}}).Set(42.0);
+  reg.SetHelp("used_bytes", "Bytes in use");
+  reg.SetHelp("used_bytes", "Bytes in use");
+  EXPECT_EQ(reg.families().at("used_bytes").help, "Bytes in use");
+}
+
+TEST(MetricsRegistryTest, DefaultBucketsAreAscending) {
+  for (const std::vector<double>* bounds :
+       {&DefaultLatencyBuckets(), &DefaultBytesBuckets()}) {
+    ASSERT_FALSE(bounds->empty());
+    for (std::size_t i = 1; i < bounds->size(); ++i) {
+      EXPECT_LT((*bounds)[i - 1], (*bounds)[i]);
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, FamiliesIterateInNameOrder) {
+  MetricsRegistry reg;
+  reg.GetCounter("zzz");
+  reg.GetCounter("aaa");
+  reg.GetCounter("mmm");
+  std::vector<std::string> names;
+  for (const auto& [name, family] : reg.families()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"aaa", "mmm", "zzz"}));
+}
+
+}  // namespace
+}  // namespace swapserve::obs

@@ -1,0 +1,148 @@
+// Trace recorder tests: ring semantics, span timing against the virtual
+// clock, and inert-span behavior.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace swapserve::obs {
+namespace {
+
+TraceEvent MakeEvent(const char* name) {
+  TraceEvent ev;
+  ev.name = name;
+  return ev;
+}
+
+TEST(TraceRecorderTest, EmitAndSnapshotInOrder) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/8);
+  rec.Emit(MakeEvent("a"));
+  rec.Emit(MakeEvent("b"));
+  rec.Emit(MakeEvent("c"));
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.total_emitted(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<TraceEvent> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_EQ(snap[1].name, "b");
+  EXPECT_EQ(snap[2].name, "c");
+}
+
+TEST(TraceRecorderTest, RingWrapsKeepingNewest) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    rec.Emit(MakeEvent(std::to_string(i).c_str()));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_emitted(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  const std::vector<TraceEvent> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().name, "2");  // oldest retained
+  EXPECT_EQ(snap.back().name, "5");
+}
+
+TEST(TraceRecorderTest, SpanMeasuresVirtualTime) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/8);
+  Span span;
+  sim.Schedule(sim::Seconds(1), [&] {
+    span = rec.StartSpan("work", "test", "main");
+    span.AddArg("k", "v");
+  });
+  sim.Schedule(sim::Seconds(3), [&] { span.End(); });
+  sim.Run();
+  const std::vector<TraceEvent> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].phase, TraceEvent::Phase::kComplete);
+  EXPECT_EQ(snap[0].ts_ns, sim::Seconds(1).ns());
+  EXPECT_EQ(snap[0].dur_ns, sim::Seconds(2).ns());
+  EXPECT_EQ(snap[0].name, "work");
+  EXPECT_EQ(snap[0].category, "test");
+  EXPECT_EQ(snap[0].track, "main");
+  ASSERT_EQ(snap[0].args.size(), 1u);
+  EXPECT_EQ(snap[0].args[0].first, "k");
+  EXPECT_EQ(snap[0].args[0].second, "v");
+}
+
+TEST(TraceRecorderTest, NestedSpansShareTrack) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/8);
+  Span outer;
+  Span inner;
+  sim.Schedule(sim::Seconds(0), [&] {
+    outer = rec.StartSpan("outer", "test", "model-a");
+  });
+  sim.Schedule(sim::Seconds(1), [&] {
+    inner = rec.StartSpan("inner", "test", "model-a");
+  });
+  sim.Schedule(sim::Seconds(2), [&] { inner.End(); });
+  sim.Schedule(sim::Seconds(4), [&] { outer.End(); });
+  sim.Run();
+  const std::vector<TraceEvent> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Inner ends first so it emits first; time containment is what viewers
+  // use to nest them.
+  EXPECT_EQ(snap[0].name, "inner");
+  EXPECT_EQ(snap[1].name, "outer");
+  EXPECT_GE(snap[0].ts_ns, snap[1].ts_ns);
+  EXPECT_LE(snap[0].ts_ns + snap[0].dur_ns,
+            snap[1].ts_ns + snap[1].dur_ns);
+}
+
+TEST(TraceRecorderTest, EndIsIdempotent) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/8);
+  Span span = rec.StartSpan("once", "test", "main");
+  span.End();
+  span.End();
+  EXPECT_EQ(rec.total_emitted(), 1u);
+}
+
+TEST(TraceRecorderTest, DefaultAndMovedFromSpansAreInert) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/8);
+  {
+    Span inert;  // never attached
+    EXPECT_FALSE(inert.active());
+  }
+  Span a = rec.StartSpan("moved", "test", "main");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.active());
+  a.End();  // no-op
+  EXPECT_EQ(rec.total_emitted(), 0u);
+  b.End();
+  EXPECT_EQ(rec.total_emitted(), 1u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderEmitsNothing) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/8);
+  rec.set_enabled(false);
+  Span span = rec.StartSpan("off", "test", "main");
+  span.End();
+  rec.Instant("off-instant", "test", "main");
+  EXPECT_EQ(rec.total_emitted(), 0u);
+  EXPECT_EQ(rec.Snapshot().size(), 0u);
+}
+
+TEST(TraceRecorderTest, InstantCarriesArgs) {
+  sim::Simulation sim;
+  TraceRecorder rec(sim, /*capacity=*/8);
+  rec.Instant("decision", "policy", "gpu0", {{"victim", "model-b"}});
+  const std::vector<TraceEvent> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].phase, TraceEvent::Phase::kInstant);
+  EXPECT_EQ(snap[0].dur_ns, 0);
+  ASSERT_EQ(snap[0].args.size(), 1u);
+  EXPECT_EQ(snap[0].args[0].second, "model-b");
+}
+
+}  // namespace
+}  // namespace swapserve::obs

@@ -127,12 +127,14 @@ TEST(TaskTest, WaitUntilAbsoluteTime) {
 TEST(TaskTest, ManySpawnedTasksAllComplete) {
   Simulation sim;
   int completed = 0;
+  // Capture-less: a capturing lambda declared inside the loop would be
+  // destroyed before the suspended coroutine resumes and reads its captures.
+  auto proc = [](Simulation& s, int& done, int i) -> Task<> {
+    co_await s.Delay(Millis(i));
+    ++done;
+  };
   for (int i = 0; i < 1000; ++i) {
-    auto proc = [&sim, &completed, i]() -> Task<> {
-      co_await sim.Delay(Millis(i));
-      ++completed;
-    };
-    Spawn(proc());
+    Spawn(proc(sim, completed, i));
   }
   sim.Run();
   EXPECT_EQ(completed, 1000);

@@ -70,6 +70,30 @@ TEST(SamplesTest, SingleValue) {
   EXPECT_DOUBLE_EQ(s.Median(), 3.5);
 }
 
+TEST(SamplesTest, EmptyPercentilesAreZero) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 0.0);
+  // Summary stats share the zero-on-empty convention.
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SamplesTest, SingleElementAllPercentilesCollapse) {
+  Samples s;
+  s.Add(-2.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), -2.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), -2.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), -2.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), -2.25);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
 TEST(SamplesTest, PercentileAfterMutationRecomputes) {
   Samples s;
   s.Add(10.0);
