@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build the tsan preset (thread sanitizer) and run the test suite under
+# it. The simulation core is single-threaded by design; this guards the
+# exporters and any future threaded harness code. CI-friendly: exits
+# non-zero on any configure, build, or test failure.
+# Usage: scripts/check_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build build-tsan -j "$(nproc)"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" "$@"

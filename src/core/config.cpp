@@ -28,6 +28,10 @@ Result<Config> Config::FromJson(const json::Value& doc) {
         global->GetDouble("monitor_interval_s", cfg.global.monitor_interval_s);
     cfg.global.idle_swap_out_s =
         global->GetDouble("idle_swap_out_s", cfg.global.idle_swap_out_s);
+    cfg.global.pipelined_swap =
+        global->GetBool("pipelined_swap", cfg.global.pipelined_swap);
+    cfg.global.swap_chunk_mib =
+        global->GetDouble("swap_chunk_mib", cfg.global.swap_chunk_mib);
   }
 
   const json::Value* models = doc.Find("models");
@@ -75,6 +79,9 @@ Status Config::Validate(const model::ModelCatalog& catalog,
   }
   if (global.idle_swap_out_s < 0) {
     return InvalidArgument("config: idle_swap_out_s must be >= 0");
+  }
+  if (global.swap_chunk_mib <= 0) {
+    return InvalidArgument("config: swap_chunk_mib must be positive");
   }
   std::set<std::string> seen;
   for (const ModelEntry& m : models) {

@@ -28,6 +28,12 @@ struct GlobalConfig {
   // Proactively swap out backends idle for this long (0 = disabled; the
   // paper's workflow swaps out only under memory pressure).
   double idle_swap_out_s = 0.0;
+  // Chunked, overlapped swap transfers: evictions release device memory as
+  // dirty pages land in host RAM and restores stream back concurrently on
+  // the duplex PCIe links. Off by default — the serial path matches the
+  // paper's calibrated single-swap timings exactly.
+  bool pipelined_swap = false;
+  double swap_chunk_mib = 512.0;  // pipeline chunk size
 };
 
 // Per-model parameters ("model name, container image, GPU memory

@@ -58,13 +58,22 @@ class Metrics {
   void RecordSwapOut(const std::string& model, double latency_s,
                      bool preemption);
   void RecordSwapIn(const std::string& model, double latency_s);
+  // Combined pipelined swap-over (eviction D2H overlapped with restore
+  // H2D). `latency_s` is swap-out start -> incoming model ready;
+  // `overlap_s` is the window both directions were moving bytes.
+  void RecordSwapOver(const std::string& out_model,
+                      const std::string& in_model, double latency_s,
+                      double overlap_s);
 
   // System-wide counters.
   std::uint64_t swap_ins = 0;
   std::uint64_t swap_outs = 0;
   std::uint64_t preemptions = 0;  // swap-outs forced by memory pressure
+  std::uint64_t swap_overs = 0;
   Samples swap_in_latency_s;
   Samples swap_out_latency_s;
+  Samples swap_over_latency_s;
+  Samples swap_overlap_s;
 
   // Aggregates across models.
   std::uint64_t TotalCompleted() const;

@@ -45,6 +45,34 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
     backend.swap_in_progress = true;
     backend.swap_done.Reset();
 
+    if (pipelined_) {
+      // Chunk-gated restore: memory is reserved chunk-by-chunk as the
+      // pipeline advances, so the restore overlaps any in-flight eviction.
+      // On RESOURCE_EXHAUSTED fall through to the serial path, whose
+      // all-up-front reservation carries the anti-livelock guarantee.
+      Status status = co_await controller_.PipelinedSwapIn(backend);
+      if (status.ok()) {
+        sim::SimRwLock::SharedGuard pin =
+            co_await backend.lock.AcquireShared();
+        backend.swap_in_progress = false;
+        backend.swap_done.Set();
+        if (backend.engine->state() != engine::BackendState::kRunning) {
+          pin.Release();
+          continue;
+        }
+        co_return pin;
+      }
+      if (status.code() != StatusCode::kResourceExhausted) {
+        backend.swap_in_progress = false;
+        backend.swap_done.Set();
+        co_return status;
+      }
+      SWAP_LOG(kWarning, "scheduler")
+          << "pipelined swap-in of " << backend.name()
+          << " ran out of memory mid-stream; falling back to serial: "
+          << status;
+    }
+
     // §3.4/§6: reserve the GPU memory saved at swap-out — one scoped
     // reservation per device in the tensor-parallel group, acquired in
     // ascending device order so overlapping groups cannot deadlock.

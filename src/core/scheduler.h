@@ -38,11 +38,17 @@ class Scheduler {
   // Emit placement spans + reservation-wait histograms (nullable).
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
+  // When enabled, swap-ins first try the controller's chunk-gated pipeline
+  // (no up-front reservation) and fall back to the serial
+  // reserve-then-swap-in path on RESOURCE_EXHAUSTED.
+  void ConfigurePipeline(bool enabled) { pipelined_ = enabled; }
+
  private:
   obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   TaskManager& task_manager_;
   EngineController& controller_;
+  bool pipelined_ = false;
 };
 
 }  // namespace swapserve::core

@@ -31,6 +31,10 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
           .ok(),
       "SwapServe constructed with invalid config; call Config::Validate");
   task_manager_.set_delegate(&controller_);
+  controller_.set_swap_pipeline(
+      {.enabled = config_.global.pipelined_swap,
+       .chunk_bytes = MiB(config_.global.swap_chunk_mib)});
+  scheduler_.ConfigurePipeline(config_.global.pipelined_swap);
 
   // One Observability threads through every layer; components stay usable
   // without it (tests construct them directly).

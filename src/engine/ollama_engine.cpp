@@ -22,9 +22,10 @@ sim::Task<sim::SimDuration> OllamaEngine::TransferWeightsIn() {
   const sim::SimTime start = sim().Now();
   // The GGUF read and the H2D copy are pipelined: total time is the
   // slower of the two paths (mmap'd pages stream straight into the copy
-  // engine).
-  const sim::SimDuration h2d_time = sim::Seconds(
-      gpu().spec().h2d_bandwidth.SecondsFor(model_.WeightBytes()));
+  // engine). The copy estimate is queue-aware: setup latency and bytes
+  // already in flight on the H2D channel delay us too.
+  const sim::SimDuration h2d_time =
+      gpu().pcie().h2d().EstimatedTransferTime(model_.WeightBytes());
   co_await sim::WhenAll(
       sim(),
       storage().ReadSharded(model_.WeightBytes(), model_.ShardCount()),

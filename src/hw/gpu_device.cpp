@@ -5,10 +5,16 @@
 namespace swapserve::hw {
 
 GpuDevice::GpuDevice(sim::Simulation& sim, GpuId id, GpuSpec spec)
-    : sim_(sim), id_(id), spec_(std::move(spec)), used_(0) {}
+    : sim_(sim),
+      id_(id),
+      spec_(std::move(spec)),
+      pcie_(sim, "gpu" + std::to_string(id) + "-pcie",
+            spec_.h2d_bandwidth, spec_.d2h_bandwidth),
+      used_(0) {}
 
 void GpuDevice::BindObservability(obs::Observability* obs) {
   obs_ = obs;
+  pcie_.BindObservability(obs);
   PublishMemoryGauges();
 }
 
@@ -57,6 +63,30 @@ Bytes GpuDevice::FreeAllOwnedBy(const std::string& owner) {
       freed += it->second.size;
       it = allocations_.erase(it);
     } else {
+      ++it;
+    }
+  }
+  used_ -= freed;
+  PublishMemoryGauges();
+  return freed;
+}
+
+Bytes GpuDevice::FreePartialOwnedBy(const std::string& owner, Bytes bytes) {
+  SWAP_CHECK_MSG(bytes.count() >= 0, "negative partial free");
+  Bytes freed(0);
+  for (auto it = allocations_.begin();
+       it != allocations_.end() && freed < bytes;) {
+    if (it->second.owner != owner) {
+      ++it;
+      continue;
+    }
+    const Bytes want = bytes - freed;
+    if (it->second.size <= want) {
+      freed += it->second.size;
+      it = allocations_.erase(it);
+    } else {
+      it->second.size -= want;
+      freed += want;
       ++it;
     }
   }

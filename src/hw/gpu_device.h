@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hw/gpu_spec.h"
+#include "hw/link.h"
 #include "obs/observability.h"
 #include "sim/simulation.h"
 #include "util/status.h"
@@ -33,6 +34,12 @@ class GpuDevice {
   GpuId id() const { return id_; }
   const GpuSpec& spec() const { return spec_; }
 
+  // The device's host link: independent D2H and H2D DMA channels at the
+  // spec's effective copy rates. Swap traffic routes through here so an
+  // eviction drain and a restore stream overlap; tensor-parallel groups
+  // stripe across their members' links concurrently.
+  DuplexLink& pcie() { return pcie_; }
+
   // Publish memory-occupancy gauges to the telemetry registry (nullable).
   void BindObservability(obs::Observability* obs);
   Bytes capacity() const { return spec_.memory; }
@@ -49,6 +56,10 @@ class GpuDevice {
   // This is what a checkpoint operation does: the driver releases all
   // device memory of the checkpointed process at once.
   Bytes FreeAllOwnedBy(const std::string& owner);
+  // Release up to `bytes` of `owner`'s allocations (shrinking one if
+  // needed); returns the bytes actually freed. A pipelined checkpoint
+  // releases device memory chunk-by-chunk as dirty pages land in host RAM.
+  Bytes FreePartialOwnedBy(const std::string& owner, Bytes bytes);
 
   Bytes UsedBy(const std::string& owner) const;
   std::size_t allocation_count() const { return allocations_.size(); }
@@ -107,6 +118,7 @@ class GpuDevice {
   sim::Simulation& sim_;
   GpuId id_;
   GpuSpec spec_;
+  DuplexLink pcie_;
   Bytes used_;
   AllocationId next_allocation_id_ = 1;
   std::map<AllocationId, Allocation> allocations_;

@@ -1,6 +1,9 @@
 #include "hw/link.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "sim/combinators.h"
 
 namespace swapserve::hw {
 
@@ -9,40 +12,103 @@ Link::Link(sim::Simulation& sim, std::string name, BytesPerSecond bandwidth,
     : sim_(sim),
       name_(std::move(name)),
       bandwidth_(bandwidth),
-      setup_latency_(setup_latency),
-      busy_(sim) {}
+      setup_latency_(setup_latency) {}
+
+void Link::EnqueueWaiter(ChannelWaiter waiter) {
+  // Keep (priority desc, seq asc): an urgent transfer jumps ahead of queued
+  // background chunks but never ahead of an equal-priority earlier arrival.
+  auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                         [&](const ChannelWaiter& w) {
+                           return w.priority < waiter.priority;
+                         });
+  waiters_.insert(it, waiter);
+}
+
+void Link::ReleaseChannel() {
+  SWAP_CHECK_MSG(channel_busy_, "release of idle link channel");
+  if (!waiters_.empty()) {
+    // Ownership transfers to the best waiter; channel_busy_ stays true.
+    ChannelWaiter next = waiters_.front();
+    waiters_.pop_front();
+    sim_.Post(next.handle);
+  } else {
+    channel_busy_ = false;
+  }
+}
 
 sim::Task<> Link::Transfer(Bytes size) {
+  co_await TransferChunked(size, TransferOptions{});
+}
+
+sim::Task<> Link::TransferChunked(Bytes size, TransferOptions options) {
+  SWAP_CHECK_MSG(size.count() >= 0, "negative transfer");
+  SWAP_CHECK_MSG(options.chunk_bytes.count() >= 0, "negative chunk size");
+  const BytesPerSecond bw = options.bandwidth.value_or(bandwidth_);
+  const sim::SimDuration setup = options.setup.value_or(setup_latency_);
+  const bool chunked =
+      options.chunk_bytes.count() > 0 && options.chunk_bytes < size;
+  const Bytes chunk = chunked ? options.chunk_bytes : size;
+
   ++in_flight_;
+  pending_ += size;
   const obs::LabelSet labels = {{"link", name_}};
   obs::SetGauge(obs_, "swapserve_link_in_flight", labels,
                 static_cast<double>(in_flight_));
   obs::Span span =
       obs::StartSpan(obs_, "transfer", "link", "link:" + name_);
   span.AddArg("bytes", std::to_string(size.count()));
-  {
-    auto guard = co_await busy_.Acquire();  // FIFO DMA queue
+  if (chunked) {
+    span.AddArg("chunk_bytes", std::to_string(chunk.count()));
+    span.AddArg("priority",
+                std::to_string(static_cast<int>(options.priority)));
+  }
+
+  Bytes done(0);
+  bool first = true;
+  while (first || done < size) {
+    const Bytes this_chunk = std::min(chunk, size - done);
+    co_await AcquireChannel(options.priority);
+    obs::Span chunk_span =
+        chunked ? obs::StartSpan(obs_, "chunk", "link", "link:" + name_)
+                : obs::Span();
     const sim::SimDuration wire =
-        setup_latency_ + IdleTransferTime(size);
+        (first ? setup : sim::SimDuration(0)) +
+        sim::Seconds(bw.SecondsFor(this_chunk));
     co_await sim_.Delay(wire);
-    total_ += size;
-    ++transfers_;
+    done += this_chunk;
+    pending_ -= this_chunk;
     if (obs_ != nullptr) {
       obs::IncCounter(obs_, "swapserve_link_transferred_bytes_total",
-                      labels, static_cast<double>(size.count()));
+                      labels, static_cast<double>(this_chunk.count()));
       // Wire-occupancy accumulator: rate() of this against wall time is
       // the link's bandwidth occupancy.
       obs::IncCounter(obs_, "swapserve_link_busy_seconds_total", labels,
                       wire.ToSeconds());
     }
+    ReleaseChannel();
+    first = false;
+    if (options.on_chunk) options.on_chunk(done, size);
   }
+
+  total_ += size;
+  ++transfers_;
   --in_flight_;
   obs::SetGauge(obs_, "swapserve_link_in_flight", labels,
                 static_cast<double>(in_flight_));
 }
 
 sim::SimDuration Link::IdleTransferTime(Bytes size) const {
-  return sim::Seconds(bandwidth_.SecondsFor(size));
+  return setup_latency_ + sim::Seconds(bandwidth_.SecondsFor(size));
+}
+
+sim::SimDuration Link::EstimatedTransferTime(Bytes size) const {
+  // Backlog = bytes admitted but not yet on the wire, plus one setup per
+  // in-flight transfer (an upper bound: transfers mid-flight have already
+  // paid part of theirs).
+  const sim::SimDuration backlog =
+      sim::Seconds(bandwidth_.SecondsFor(pending_)) +
+      setup_latency_ * in_flight_;
+  return backlog + IdleTransferTime(size);
 }
 
 StorageDevice::StorageDevice(sim::Simulation& sim, std::string name,
@@ -62,10 +128,18 @@ sim::Task<> StorageDevice::ReadSharded(Bytes total_size, int shards) {
   SWAP_CHECK_MSG(shards > 0, "shard count must be positive");
   const Bytes per_shard(total_size.count() / shards);
   Bytes remainder = total_size - per_shard * shards;
+  // Only shard 0's open is on the critical path; shard N+1's open overlaps
+  // shard N's read.
+  co_await sim_.Delay(open_overhead_);
   for (int i = 0; i < shards; ++i) {
     Bytes this_shard = per_shard;
     if (i == 0) this_shard += remainder;
-    co_await ReadFile(this_shard);
+    if (i + 1 < shards) {
+      co_await sim::WhenAll(sim_, link_.Transfer(this_shard),
+                            sim::DelayFor(sim_, open_overhead_));
+    } else {
+      co_await link_.Transfer(this_shard);
+    }
   }
 }
 

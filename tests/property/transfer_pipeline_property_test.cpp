@@ -1,0 +1,233 @@
+// Property sweep for the pipelined transfer/hot-swap machinery:
+//  1. chunked transfers match monolithic timing (setup charged once),
+//  2. the freed-bytes watermark is monotone and exact,
+//  3. pipelined swap-over never loses to the serial swap-out-then-swap-in,
+//  4. the whole pipeline is deterministic for a fixed seed.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/fixture.h"
+#include "ckpt/checkpoint_engine.h"
+#include "core/swap_serve.h"
+#include "hw/link.h"
+#include "sim/random.h"
+
+namespace swapserve {
+namespace {
+
+// Built outside the coroutines: GCC 12 miscompiles braced initializer
+// lists inside coroutine lambdas.
+ckpt::SwapOutRequest MakeOutRequest(container::Container* c,
+                                    ckpt::CudaCheckpointProcess* proc,
+                                    hw::GpuDevice* gpu, Bytes clean,
+                                    Bytes dirty) {
+  return ckpt::SwapOutRequest{
+      .container = c,
+      .process = proc,
+      .gpu = gpu,
+      .gpus = {},
+      .owner = "backend-a",
+      .clean_bytes = clean,
+      .dirty_bytes = dirty,
+      .checkpoint = model::DefaultCheckpointH100(),
+      .restore = model::VllmRestoreH100(),
+  };
+}
+
+// --- 1. chunked == monolithic -------------------------------------------
+
+TEST(TransferPipelineProperty, ChunkedMatchesMonolithicAcrossSeeds) {
+  sim::Rng rng(0x5eed0001);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes size = MiB(static_cast<double>(rng.UniformInt(1, 64 * 1024)));
+    const Bytes chunk = MiB(static_cast<double>(rng.UniformInt(1, 4096)));
+    const auto bw = GBps(rng.Uniform(1.0, 60.0));
+    const auto setup = sim::Millis(rng.Uniform(0.0, 800.0));
+
+    sim::Simulation sim;
+    hw::Link whole(sim, "whole", bw, setup);
+    hw::Link chunked(sim, "chunked", bw, setup);
+    double whole_at = -1;
+    double chunked_at = -1;
+    sim.Go([&]() -> sim::Task<> {
+      co_await whole.Transfer(size);
+      whole_at = sim.Now().ToSeconds();
+    });
+    sim.Go([&]() -> sim::Task<> {
+      hw::TransferOptions opts;
+      opts.chunk_bytes = chunk;
+      co_await chunked.TransferChunked(size, opts);
+      chunked_at = sim.Now().ToSeconds();
+    });
+    sim.Run();
+    // Setup is charged once; only per-chunk ns rounding may differ, and it
+    // is far below one setup latency (the issue's tolerance).
+    EXPECT_NEAR(chunked_at, whole_at, 1e-5)
+        << "size=" << size.ToString() << " chunk=" << chunk.ToString();
+    EXPECT_EQ(whole.total_transferred(), chunked.total_transferred());
+  }
+}
+
+// --- 2. watermark monotone and exact ------------------------------------
+
+TEST(TransferPipelineProperty, FreedWatermarkMonotoneAndExactAcrossSeeds) {
+  sim::Rng rng(0x5eed0002);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bytes clean = GiB(static_cast<double>(rng.UniformInt(0, 50)));
+    const Bytes dirty = GiB(static_cast<double>(rng.UniformInt(1, 28)));
+    const Bytes chunk = MiB(static_cast<double>(rng.UniformInt(64, 4096)));
+
+    sim::Simulation sim;
+    hw::GpuDevice gpu(sim, 0, hw::GpuSpec::H100Hbm3_80GB());
+    container::ContainerRuntime runtime(
+        sim, container::ImageRegistry::WithDefaultImages());
+    ckpt::SnapshotStore store(GiB(128));
+    ckpt::CheckpointEngine engine(sim, store);
+    ckpt::CudaCheckpointProcess proc(sim, "backend-a");
+    container::Container* c =
+        runtime.Create("backend-a", "ollama/ollama:v0.9.6").value();
+
+    Bytes cumulative(0);
+    Bytes prev(0);
+    bool monotone = true;
+    sim::Spawn([&]() -> sim::Task<> {
+      EXPECT_TRUE((co_await c->Start()).ok());
+      SWAP_CHECK(gpu.Allocate("backend-a", clean + dirty, "state").ok());
+      ckpt::SwapOutPipeline pipe;
+      pipe.chunk_bytes = chunk;
+      pipe.on_freed = [&](hw::GpuId, Bytes b) {
+        if (b.count() <= 0) monotone = false;
+        cumulative += b;
+        if (cumulative < prev) monotone = false;
+        prev = cumulative;
+      };
+      auto out = co_await engine.SwapOut(
+          MakeOutRequest(c, &proc, &gpu, clean, dirty), pipe);
+      EXPECT_TRUE(out.ok()) << out.status();
+    });
+    sim.Run();
+    EXPECT_TRUE(monotone) << "trial " << trial;
+    // Every byte initially resident is reported freed, exactly once.
+    EXPECT_EQ(cumulative, clean + dirty) << "trial " << trial;
+    EXPECT_EQ(gpu.used(), Bytes(0));
+  }
+}
+
+// --- 3. pipelined swap-over never exceeds serial ------------------------
+
+class SwapOverNeverSlower
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+ protected:
+  // Latency of switching the running model A for parked model B.
+  static double SwitchLatency(const char* engine_kind, bool pipelined) {
+    using core::testing::TestBed;
+    TestBed bed;
+    core::Config cfg = bed.MakeConfig({{"deepseek-r1-14b-fp16", engine_kind},
+                                       {"llama-3.1-8b-fp16", engine_kind}});
+    cfg.global.pipelined_swap = pipelined;
+    core::SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+    core::Backend* a = serve.backend("deepseek-r1-14b-fp16");
+    core::Backend* b = serve.backend("llama-3.1-8b-fp16");
+    double latency = -1;
+    bed.RunTask([&]() -> sim::Task<> {
+      EXPECT_TRUE((co_await serve.Initialize()).ok());
+      core::ChatResult r =
+          co_await serve.ChatAndWait("deepseek-r1-14b-fp16", 64, 16);
+      EXPECT_TRUE(r.ok) << r.error;
+      const sim::SimTime start = bed.sim.Now();
+      if (pipelined) {
+        auto over = co_await serve.controller().SwapOver(*a, *b);
+        EXPECT_TRUE(over.ok()) << over.status();
+        latency = over->elapsed.ToSeconds();
+      } else {
+        EXPECT_TRUE((co_await serve.controller().SwapOut(*a, false)).ok());
+        auto pin = co_await serve.scheduler().EnsureRunningAndPin(*b);
+        EXPECT_TRUE(pin.ok()) << pin.status();
+        latency = (bed.sim.Now() - start).ToSeconds();
+        pin->Release();
+      }
+      serve.Shutdown();
+    });
+    return latency;
+  }
+};
+
+TEST_P(SwapOverNeverSlower, PipelinedAtMostSerial) {
+  const auto [engine_kind, unused] = GetParam();
+  (void)unused;
+  const double serial = SwitchLatency(engine_kind, false);
+  const double pipelined = SwitchLatency(engine_kind, true);
+  ASSERT_GT(serial, 0.0);
+  ASSERT_GT(pipelined, 0.0);
+  EXPECT_LE(pipelined, serial + 1e-6)
+      << engine_kind << ": serial " << serial << " s, pipelined "
+      << pipelined << " s";
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SwapOverNeverSlower,
+                         ::testing::Combine(::testing::Values("vllm",
+                                                              "ollama"),
+                                            ::testing::Values("")),
+                         [](const auto& info) {
+                           return std::string(std::get<0>(info.param));
+                         });
+
+// --- 4. determinism -----------------------------------------------------
+
+TEST(TransferPipelineProperty, DeterministicAcrossIdenticalRuns) {
+  auto run_scenario = [](std::uint64_t seed) {
+    sim::Rng rng(seed);
+    const Bytes clean = GiB(static_cast<double>(rng.UniformInt(10, 40)));
+    const Bytes dirty = GiB(static_cast<double>(rng.UniformInt(5, 20)));
+    const Bytes chunk = MiB(static_cast<double>(rng.UniformInt(128, 2048)));
+
+    sim::Simulation sim;
+    hw::GpuDevice gpu(sim, 0, hw::GpuSpec::H100Hbm3_80GB());
+    container::ContainerRuntime runtime(
+        sim, container::ImageRegistry::WithDefaultImages());
+    ckpt::SnapshotStore store(GiB(128));
+    ckpt::CheckpointEngine engine(sim, store);
+    ckpt::CudaCheckpointProcess proc(sim, "backend-a");
+    container::Container* c =
+        runtime.Create("backend-a", "ollama/ollama:v0.9.6").value();
+    std::vector<hw::GpuDevice*> gpu_vec = {&gpu};
+
+    std::vector<std::int64_t> event_ns;
+    sim::Spawn([&]() -> sim::Task<> {
+      EXPECT_TRUE((co_await c->Start()).ok());
+      SWAP_CHECK(gpu.Allocate("backend-a", clean + dirty, "state").ok());
+      ckpt::SwapOutPipeline out_pipe;
+      out_pipe.chunk_bytes = chunk;
+      out_pipe.on_freed = [&](hw::GpuId, Bytes) {
+        event_ns.push_back(sim.Now().ns());
+      };
+      auto out = co_await engine.SwapOut(
+          MakeOutRequest(c, &proc, &gpu, clean, dirty), out_pipe);
+      EXPECT_TRUE(out.ok()) << out.status();
+      event_ns.push_back(sim.Now().ns());
+
+      ckpt::SwapInPipeline in_pipe;
+      in_pipe.chunk_bytes = chunk;
+      auto in =
+          co_await engine.SwapIn(out->snapshot, *c, proc, gpu_vec, in_pipe);
+      EXPECT_TRUE(in.ok()) << in.status();
+      event_ns.push_back(sim.Now().ns());
+    });
+    sim.Run();
+    return event_ns;
+  };
+
+  for (std::uint64_t seed : {11ull, 42ull, 777ull}) {
+    const auto first = run_scenario(seed);
+    const auto second = run_scenario(seed);
+    EXPECT_FALSE(first.empty());
+    // Bit-identical event timeline: same seed, same trace, to the ns.
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace swapserve
