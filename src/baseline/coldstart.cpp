@@ -107,7 +107,7 @@ sim::Task<> ColdStartServing::ReapIdle() {
     if (slot.engine->state() != engine::BackendState::kRunning) continue;
     if (slot.engine->active_requests() > 0) continue;
     if (sim_.Now() - slot.last_used >= keepalive_) {
-      (void)co_await Teardown(slot);
+      SWAP_WARN_IF_ERROR(co_await Teardown(slot), "coldstart-baseline");
     }
   }
 }

@@ -42,6 +42,15 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
                      std::to_string(pipeline.chunk_bytes.count()));
   }
 
+  // Injected checkpoint failure fires before the freeze, so the backend is
+  // still running and the caller's rollback is a pure state unwind.
+  {
+    fault::FaultDecision f =
+        fault::Evaluate(fault_, "ckpt.swap_out", req.owner);
+    if (f.stall.ns() > 0) co_await sim_.Delay(f.stall);
+    if (!f.status.ok()) co_return f.status;
+  }
+
   // 1. Freeze the container cgroup: CPU side stops issuing CUDA work.
   {
     obs::Span phase = obs::StartSpan(obs_, "freeze", "ckpt", req.owner);
@@ -54,7 +63,7 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
     obs::Span phase = obs::StartSpan(obs_, "lock", "ckpt", req.owner);
     Status s = co_await req.process->Lock(sim::Millis(50));
     if (!s.ok()) {
-      (void)co_await req.container->Unpause();
+      SWAP_WARN_IF_ERROR(co_await req.container->Unpause(), "ckpt");
       co_return s;
     }
   }
@@ -71,8 +80,8 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
   snap.restore = req.restore;
   Result<SnapshotId> put = store_.Put(std::move(snap));
   if (!put.ok()) {
-    (void)co_await req.process->Unlock();
-    (void)co_await req.container->Unpause();
+    SWAP_WARN_IF_ERROR(co_await req.process->Unlock(), "ckpt");
+    SWAP_WARN_IF_ERROR(co_await req.container->Unpause(), "ckpt");
     co_return put.status();
   }
   // Commit point: nothing below can fail.
@@ -170,8 +179,19 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
   SWAP_CHECK_MSG(!gpus.empty(), "swap-in needs at least one GPU");
   const sim::SimTime start = sim_.Now();
   SWAP_CO_ASSIGN_OR_RETURN(Snapshot snap, store_.Get(snapshot_id));
+  // A corrupt snapshot surfaces here as DATA_LOSS: not retryable, the
+  // caller must drop it and fall back to a cold start.
+  SWAP_CO_RETURN_IF_ERROR(store_.Verify(snapshot_id));
   SWAP_CHECK_MSG(static_cast<int>(gpus.size()) == snap.tp_degree,
                  "swap-in device group does not match checkpoint topology");
+  // Injected restore failure fires before any device memory is touched;
+  // the snapshot is retained, so the swap-in can simply be retried.
+  {
+    fault::FaultDecision f =
+        fault::Evaluate(fault_, "ckpt.swap_in", snap.owner);
+    if (f.stall.ns() > 0) co_await sim_.Delay(f.stall);
+    if (!f.status.ok()) co_return f.status;
+  }
   const bool pipelined = pipeline.chunk_bytes.count() > 0;
   obs::Span swap_span =
       obs::StartSpan(obs_, "ckpt.swap_in", "ckpt", snap.owner);
@@ -268,6 +288,18 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
           Bytes done(0);
           while (done < shard && !aborted) {
             const Bytes chunk = std::min(pipeline.chunk_bytes, shard - done);
+            {
+              // Mid-pipeline chunk failure: exercises the rollback below
+              // (all chunk allocations freed, snapshot retained).
+              fault::FaultDecision f =
+                  fault::Evaluate(fault_, "ckpt.chunk", snap.owner);
+              if (f.stall.ns() > 0) co_await sim_.Delay(f.stall);
+              if (!f.status.ok()) {
+                failure = f.status;
+                aborted = true;
+                break;
+              }
+            }
             if (pipeline.acquire) {
               const sim::SimTime gate_start = sim_.Now();
               Status s = co_await pipeline.acquire(dev->id(), chunk);

@@ -20,6 +20,7 @@
 #include "ckpt/cuda_checkpoint.h"
 #include "ckpt/snapshot_store.h"
 #include "container/container.h"
+#include "fault/fault_injector.h"
 #include "hw/gpu_device.h"
 #include "hw/link.h"
 #include "model/calibration.h"
@@ -128,8 +129,17 @@ class CheckpointEngine {
   // (nullable).
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
+  // Nullable. Fault points: "ckpt.swap_out" (before the freeze; container
+  // and process stay running), "ckpt.swap_in" (after the snapshot lookup;
+  // snapshot retained, so the failure is retryable), "ckpt.chunk" (inside
+  // the pipelined restore's chunk loop; drives the rollback path).
+  void BindFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   obs::Observability* obs_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   sim::Simulation& sim_;
   SnapshotStore& store_;
   std::uint64_t swap_outs_ = 0;

@@ -45,6 +45,10 @@ class CudaCheckpointProcess {
   // checkpointed -> locked, after the caller finished H2D restore.
   Status MarkRestored();
 
+  // The process died: whatever state the driver held is gone, and the
+  // next process starts clean. Any state -> running.
+  void ResetAfterCrash() { state_ = CudaCheckpointState::kRunning; }
+
  private:
   sim::Simulation& sim_;
   std::string owner_;

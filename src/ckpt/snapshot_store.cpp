@@ -2,6 +2,19 @@
 
 namespace swapserve::ckpt {
 
+std::uint64_t SnapshotChecksum(const Snapshot& snapshot) {
+  std::uint64_t h = fault::StableHash(snapshot.owner);
+  h = fault::StableHashCombine(
+      h, static_cast<std::uint64_t>(snapshot.clean_bytes.count()));
+  h = fault::StableHashCombine(
+      h, static_cast<std::uint64_t>(snapshot.dirty_bytes.count()));
+  h = fault::StableHashCombine(
+      h, static_cast<std::uint64_t>(snapshot.created_at_s * 1e9));
+  h = fault::StableHashCombine(h,
+                               static_cast<std::uint64_t>(snapshot.tp_degree));
+  return h;
+}
+
 Result<SnapshotId> SnapshotStore::Put(Snapshot snapshot) {
   if (snapshot.dirty_bytes.count() < 0 || snapshot.clean_bytes.count() < 0) {
     return InvalidArgument("negative snapshot size");
@@ -13,10 +26,17 @@ Result<SnapshotId> SnapshotStore::Put(Snapshot snapshot) {
         " free");
   }
   snapshot.id = next_id_++;
+  snapshot.checksum = SnapshotChecksum(snapshot);
   used_ += snapshot.dirty_bytes;
   const SnapshotId id = snapshot.id;
+  const std::string owner = snapshot.owner;
   snapshots_.emplace(id, std::move(snapshot));
   PublishGauges();
+  // Silent corruption at write time: the Put succeeds, the damage only
+  // surfaces when a restore verifies the checksum.
+  if (fault::Evaluate(fault_, "snapshot.corrupt", owner).fired()) {
+    SWAP_WARN_IF_ERROR(Corrupt(id), "snapshot_store");
+  }
   return id;
 }
 
@@ -39,6 +59,27 @@ Status SnapshotStore::Drop(SnapshotId id) {
   return Status::Ok();
 }
 
+Status SnapshotStore::Verify(SnapshotId id) const {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  if (it->second.checksum != SnapshotChecksum(it->second)) {
+    return DataLoss("snapshot " + std::to_string(id) + " (" +
+                    it->second.owner + "): checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+Status SnapshotStore::Corrupt(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  it->second.checksum ^= 0xbadc0ffee0ddf00dULL;
+  return Status::Ok();
+}
+
 Result<Snapshot> SnapshotStore::FindByOwner(const std::string& owner) const {
   const Snapshot* latest = nullptr;
   for (const auto& [id, snap] : snapshots_) {
@@ -51,6 +92,10 @@ Result<Snapshot> SnapshotStore::FindByOwner(const std::string& owner) const {
 void SnapshotStore::BindObservability(obs::Observability* obs) {
   obs_ = obs;
   PublishGauges();
+}
+
+void SnapshotStore::BindFaultInjector(fault::FaultInjector* injector) {
+  fault_ = injector;
 }
 
 void SnapshotStore::PublishGauges() const {

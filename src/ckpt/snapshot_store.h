@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "model/calibration.h"
 #include "obs/observability.h"
 #include "util/status.h"
@@ -31,16 +32,29 @@ struct Snapshot {
   int tp_degree = 1;        // device-group size the state shards across
   // Per-engine restore characteristics captured at checkpoint time.
   model::RestoreModel restore;
+  // Integrity checksum over the snapshot metadata, computed at Put time.
+  // A mismatch on Verify means the host copy is unusable (kDataLoss) and
+  // the backend must fall back to a cold start.
+  std::uint64_t checksum = 0;
 };
+
+// Content checksum a snapshot should carry; recomputed by Verify.
+std::uint64_t SnapshotChecksum(const Snapshot& snapshot);
 
 class SnapshotStore {
  public:
   explicit SnapshotStore(Bytes host_budget) : budget_(host_budget) {}
 
   // Fails with RESOURCE_EXHAUSTED when dirty bytes exceed remaining budget.
+  // Stamps the snapshot's checksum (a "snapshot.corrupt" fault rule flips
+  // it, modelling silent host-RAM corruption detected only on restore).
   Result<SnapshotId> Put(Snapshot snapshot);
   Result<Snapshot> Get(SnapshotId id) const;
   Status Drop(SnapshotId id);
+  // DATA_LOSS when the stored checksum no longer matches the content.
+  Status Verify(SnapshotId id) const;
+  // Deliberately corrupt a stored snapshot (chaos/test hook).
+  Status Corrupt(SnapshotId id);
   // Latest snapshot for a backend, if any.
   Result<Snapshot> FindByOwner(const std::string& owner) const;
 
@@ -52,11 +66,14 @@ class SnapshotStore {
 
   // Publish host-RAM occupancy gauges on every Put/Drop (nullable).
   void BindObservability(obs::Observability* obs);
+  // Nullable; evaluated at the "snapshot.corrupt" point on every Put.
+  void BindFaultInjector(fault::FaultInjector* injector);
 
  private:
   void PublishGauges() const;
 
   obs::Observability* obs_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   Bytes budget_;
   Bytes used_{0};
   SnapshotId next_id_ = 1;

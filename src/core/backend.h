@@ -13,10 +13,40 @@
 #include "core/config.h"
 #include "core/types.h"
 #include "engine/engine.h"
+#include "fault/circuit_breaker.h"
 #include "sim/channel.h"
 #include "sim/sync.h"
 
 namespace swapserve::core {
+
+// Supervisor-maintained health record. Healthy backends serve normally;
+// Degraded ones just recovered (first success re-promotes them);
+// Quarantined ones fast-fail requests until the breaker's cooldown admits
+// a probe; Recovering marks an in-flight supervisor restart.
+struct BackendHealth {
+  enum class State { kHealthy, kDegraded, kQuarantined, kRecovering };
+
+  explicit BackendHealth(sim::Simulation& sim)
+      : breaker(sim, /*failure_threshold=*/3, sim::Seconds(10)) {}
+
+  State state = State::kHealthy;
+  fault::CircuitBreaker breaker;
+  // When the backend last became resident (swap-in, cold start, or
+  // restart); drives age-based rejuvenation.
+  sim::SimTime last_resident;
+  std::uint64_t recoveries = 0;   // successful supervisor restarts
+  std::uint64_t quarantines = 0;  // transitions into kQuarantined
+};
+
+inline std::string_view HealthStateName(BackendHealth::State s) {
+  switch (s) {
+    case BackendHealth::State::kHealthy: return "healthy";
+    case BackendHealth::State::kDegraded: return "degraded";
+    case BackendHealth::State::kQuarantined: return "quarantined";
+    case BackendHealth::State::kRecovering: return "recovering";
+  }
+  return "?";
+}
 
 struct Backend {
   Backend(sim::Simulation& sim, ModelEntry entry, model::ModelSpec spec,
@@ -28,7 +58,8 @@ struct Backend {
         queue(std::make_unique<sim::Channel<QueuedRequest>>(sim,
                                                             queue_capacity)),
         lock(sim),
-        swap_done(sim) {}
+        swap_done(sim),
+        health(sim) {}
 
   const std::string& name() const { return config.model_id; }
   hw::GpuId gpu() const { return config.gpu; }
@@ -72,6 +103,9 @@ struct Backend {
   // Swap-in deduplication: concurrent triggers await the in-flight one.
   bool swap_in_progress = false;
   sim::SimEvent swap_done;
+
+  // Self-healing state (supervisor + circuit breaker).
+  BackendHealth health;
 };
 
 }  // namespace swapserve::core

@@ -34,6 +34,62 @@ Result<Config> Config::FromJson(const json::Value& doc) {
         global->GetDouble("swap_chunk_mib", cfg.global.swap_chunk_mib);
   }
 
+  if (const json::Value* fault = doc.Find("fault"); fault != nullptr) {
+    if (!fault->is_object()) {
+      return InvalidArgument("config: \"fault\" must be an object");
+    }
+    cfg.fault.seed = static_cast<std::uint64_t>(
+        fault->GetInt("seed", static_cast<std::int64_t>(cfg.fault.seed)));
+    if (const json::Value* rules = fault->Find("rules"); rules != nullptr) {
+      if (!rules->is_array()) {
+        return InvalidArgument("config: \"fault.rules\" must be an array");
+      }
+      for (const json::Value& entry : rules->AsArray()) {
+        if (!entry.is_object()) {
+          return InvalidArgument("config: fault rule must be an object");
+        }
+        fault::FaultRule r;
+        r.point = entry.GetString("point", "");
+        if (r.point.empty()) {
+          return InvalidArgument("config: fault rule missing \"point\"");
+        }
+        r.probability = entry.GetDouble("probability", r.probability);
+        SWAP_ASSIGN_OR_RETURN(
+            r.code, ParseStatusCode(entry.GetString("code", "UNAVAILABLE")));
+        r.message = entry.GetString("message", "");
+        r.stall_s = entry.GetDouble("stall_s", r.stall_s);
+        r.fail = entry.GetBool("fail", r.fail);
+        r.max_fires = entry.GetInt("max_fires", r.max_fires);
+        r.owner = entry.GetString("owner", "");
+        r.arm_after_s = entry.GetDouble("arm_after_s", r.arm_after_s);
+        cfg.fault.plan.rules.push_back(std::move(r));
+      }
+    }
+  }
+
+  if (const json::Value* rec = doc.Find("recovery"); rec != nullptr) {
+    if (!rec->is_object()) {
+      return InvalidArgument("config: \"recovery\" must be an object");
+    }
+    RecoveryConfig& r = cfg.recovery;
+    r.swap_retry_attempts = static_cast<int>(
+        rec->GetInt("swap_retry_attempts", r.swap_retry_attempts));
+    r.backoff_initial_s = rec->GetDouble("backoff_initial_s",
+                                         r.backoff_initial_s);
+    r.backoff_max_s = rec->GetDouble("backoff_max_s", r.backoff_max_s);
+    r.request_retry_attempts = static_cast<int>(
+        rec->GetInt("request_retry_attempts", r.request_retry_attempts));
+    r.breaker_failure_threshold = static_cast<int>(
+        rec->GetInt("breaker_failure_threshold", r.breaker_failure_threshold));
+    r.breaker_cooldown_s = rec->GetDouble("breaker_cooldown_s",
+                                          r.breaker_cooldown_s);
+    r.health_check_interval_s = rec->GetDouble("health_check_interval_s",
+                                               r.health_check_interval_s);
+    r.hang_deadline_s = rec->GetDouble("hang_deadline_s", r.hang_deadline_s);
+    r.rejuvenate_after_s = rec->GetDouble("rejuvenate_after_s",
+                                          r.rejuvenate_after_s);
+  }
+
   const json::Value* models = doc.Find("models");
   if (models == nullptr || !models->is_array()) {
     return InvalidArgument("config: missing \"models\" array");
@@ -82,6 +138,33 @@ Status Config::Validate(const model::ModelCatalog& catalog,
   }
   if (global.swap_chunk_mib <= 0) {
     return InvalidArgument("config: swap_chunk_mib must be positive");
+  }
+  for (const fault::FaultRule& r : fault.plan.rules) {
+    if (r.probability < 0 || r.probability > 1) {
+      return InvalidArgument("config: fault rule " + r.point +
+                             ": probability out of [0, 1]");
+    }
+    if (r.stall_s < 0 || r.arm_after_s < 0) {
+      return InvalidArgument("config: fault rule " + r.point +
+                             ": negative duration");
+    }
+  }
+  if (recovery.swap_retry_attempts < 1 ||
+      recovery.request_retry_attempts < 0) {
+    return InvalidArgument("config: retry attempts out of range");
+  }
+  if (recovery.backoff_initial_s <= 0 ||
+      recovery.backoff_max_s < recovery.backoff_initial_s) {
+    return InvalidArgument("config: backoff bounds must be positive and "
+                           "ordered");
+  }
+  if (recovery.breaker_failure_threshold < 1 ||
+      recovery.breaker_cooldown_s <= 0) {
+    return InvalidArgument("config: circuit-breaker parameters out of range");
+  }
+  if (recovery.health_check_interval_s < 0 || recovery.hang_deadline_s < 0 ||
+      recovery.rejuvenate_after_s < 0) {
+    return InvalidArgument("config: supervisor intervals must be >= 0");
   }
   std::set<std::string> seen;
   for (const ModelEntry& m : models) {

@@ -8,11 +8,45 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "fault/fault_injector.h"
 #include "json/json.h"
 #include "model/catalog.h"
 #include "util/status.h"
 
 namespace swapserve::core {
+
+// Deterministic fault injection (chaos testing). Disabled unless rules are
+// present; with no rules the injector never draws from its random stream,
+// so fault-free runs are bit-identical with or without this section.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedfau;
+  fault::FaultPlan plan;
+  bool enabled() const { return !plan.empty(); }
+};
+
+// Self-healing knobs: bounded retries around swap operations, per-request
+// requeue, circuit breaker, and the supervisor's scan/deadline parameters.
+struct RecoveryConfig {
+  // Swap-in/swap-out retry policy (scheduler + supervisor restarts).
+  int swap_retry_attempts = 3;
+  double backoff_initial_s = 0.05;
+  double backoff_max_s = 2.0;
+  // Failed requests re-enter their backend queue this many extra times
+  // before the failure is terminal.
+  int request_retry_attempts = 2;
+  // Circuit breaker: consecutive failures before quarantine, and how long
+  // quarantine lasts before a half-open probe.
+  int breaker_failure_threshold = 3;
+  double breaker_cooldown_s = 10.0;
+  // Supervisor scan cadence; 0 disables the supervisor loop entirely.
+  double health_check_interval_s = 1.0;
+  // Declare a backend hung when a request has made no progress for this
+  // long (0 = hang detection off).
+  double hang_deadline_s = 0.0;
+  // Age-based rejuvenation: swap out an idle backend that has been
+  // resident longer than this (0 = off).
+  double rejuvenate_after_s = 0.0;
+};
 
 // Engine-wide parameters ("global parameters ... such as response timeout,
 // KV cache type, and authentication tokens").
@@ -53,9 +87,14 @@ struct ModelEntry {
 struct Config {
   GlobalConfig global;
   std::vector<ModelEntry> models;
+  FaultConfig fault;
+  RecoveryConfig recovery;
 
   // Parse from a JSON document of the shape
-  //   {"global": {...}, "models": [{...}, ...]}.
+  //   {"global": {...}, "models": [{...}, ...],
+  //    "fault": {"seed": N, "rules": [{"point": "ckpt.swap_in",
+  //              "probability": 0.05, "code": "UNAVAILABLE", ...}]},
+  //    "recovery": {...}}.
   static Result<Config> FromJson(const json::Value& doc);
   static Result<Config> FromJsonText(std::string_view text);
 

@@ -114,6 +114,9 @@ sim::Task<Status> EngineController::SwapIn(Backend& backend) {
       backend.snapshot, *backend.engine->container(),
       backend.engine->process(), backend.engine->Gpus());
   if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDataLoss) {
+      co_return co_await ColdRestoreFallback(backend, result.status());
+    }
     SWAP_CHECK(backend.engine->MarkSwappedOut().ok());
     co_return result.status();
   }
@@ -123,10 +126,39 @@ sim::Task<Status> EngineController::SwapIn(Backend& backend) {
   Status after = co_await backend.engine->AfterRestore();
   if (!after.ok()) co_return after;
   SWAP_CHECK(backend.engine->MarkRunning().ok());
+  backend.health.last_resident = sim_.Now();
 
   metrics_.RecordSwapIn(backend.name(), (sim_.Now() - start).ToSeconds());
   SWAP_LOG(kInfo, "controller")
       << "swapped in " << backend.name() << " in "
+      << (sim_.Now() - start).ToString();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> EngineController::ColdRestoreFallback(Backend& backend,
+                                                        Status cause) {
+  const sim::SimTime start = sim_.Now();
+  SWAP_LOG(kWarning, "controller")
+      << "snapshot of " << backend.name()
+      << " is corrupt; falling back to cold start: " << cause;
+  obs::Instant(obs_, "cold_fallback:" + backend.name(), "controller",
+               backend.name(), {{"cause", cause.message()}});
+  SWAP_WARN_IF_ERROR(ckpt_.store().Drop(backend.snapshot), "controller");
+  backend.has_snapshot = false;
+  backend.snapshot = 0;
+  // The checkpointed process can never be resumed; declare it dead so the
+  // checkpoint handle and state machine reset, then rebuild in-place.
+  backend.engine->MarkCrashed("corrupt snapshot: " + cause.message());
+  Result<engine::InitBreakdown> restart = co_await backend.engine->Restart();
+  if (!restart.ok()) {
+    // Backend stays kCrashed; the supervisor takes over from here.
+    co_return restart.status();
+  }
+  backend.health.last_resident = sim_.Now();
+  metrics_.RecordRecovery(backend.name(), "cold_fallback",
+                          (sim_.Now() - start).ToSeconds());
+  SWAP_LOG(kInfo, "controller")
+      << backend.name() << " rebuilt from cold start in "
       << (sim_.Now() - start).ToString();
   co_return Status::Ok();
 }
@@ -209,6 +241,9 @@ sim::Task<Status> EngineController::PipelinedSwapIn(Backend& backend) {
       MakeGatedSwapInPipeline(held));
   held.clear();  // abort path may leave granted-but-unused reservations
   if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDataLoss) {
+      co_return co_await ColdRestoreFallback(backend, result.status());
+    }
     SWAP_CHECK(backend.engine->MarkSwappedOut().ok());
     co_return result.status();
   }
@@ -218,6 +253,7 @@ sim::Task<Status> EngineController::PipelinedSwapIn(Backend& backend) {
   Status after = co_await backend.engine->AfterRestore();
   if (!after.ok()) co_return after;
   SWAP_CHECK(backend.engine->MarkRunning().ok());
+  backend.health.last_resident = sim_.Now();
 
   metrics_.RecordSwapIn(backend.name(), (sim_.Now() - start).ToSeconds());
   obs::Observe(obs_, "swapserve_pipeline_stall_seconds",
@@ -354,6 +390,7 @@ sim::Task<Result<SwapOverResult>> EngineController::SwapOver(Backend& out,
     co_return after;
   }
   SWAP_CHECK(in.engine->MarkRunning().ok());
+  in.health.last_resident = sim_.Now();
   metrics_.RecordSwapIn(in.name(), (in_ready - start).ToSeconds());
   finish_in();
 
@@ -437,7 +474,7 @@ std::vector<Backend*> EngineController::PreemptionCandidates(
 }
 
 sim::Task<Bytes> EngineController::ReclaimMemory(
-    hw::GpuId gpu, Bytes needed, const std::string& requester) {
+    hw::GpuId gpu, Bytes needed, std::string requester) {
   Bytes freed(0);
   std::vector<std::string> failed;  // skip victims that refused to swap out
   while (freed < needed) {

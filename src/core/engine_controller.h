@@ -99,7 +99,7 @@ class EngineController final : public TaskManager::ReclaimDelegate {
   // TaskManager::ReclaimDelegate — evict candidates until `needed` bytes
   // are free on `gpu` or no candidates remain; returns bytes freed.
   sim::Task<Bytes> ReclaimMemory(hw::GpuId gpu, Bytes needed,
-                                 const std::string& requester) override;
+                                 std::string requester) override;
 
   // Victim ordering under the configured policy (exposed for tests and the
   // ablation bench). Excludes `requester`, non-running backends, and
@@ -113,6 +113,12 @@ class EngineController final : public TaskManager::ReclaimDelegate {
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
  private:
+  // Corrupt-snapshot recovery: the checksum mismatch (DATA_LOSS) means the
+  // host copy is unusable, so drop it and rebuild the backend from scratch
+  // (weights reload) inside its container. Caller holds the exclusive lock
+  // with the engine in kSwapping.
+  sim::Task<Status> ColdRestoreFallback(Backend& backend, Status cause);
+
   // Pipelined swap-out body shared by SwapOut and SwapOver: announces the
   // backend's per-GPU footprint to the task manager, runs the checkpoint
   // with a chunked pipeline crediting frees against the announcement, and

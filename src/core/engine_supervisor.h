@@ -1,0 +1,82 @@
+// Self-healing control plane: a periodic supervisor loop that restarts
+// crashed backends, detects hung engines, and rejuvenates long-resident
+// ones.
+//
+// Crash recovery is restart-in-place: a crash happens while the backend is
+// resident, so there is no snapshot to restore from — MarkCrashed() already
+// freed the device memory and the supervisor re-runs engine initialization
+// (weights reload) inside the existing container. A backend whose restarts
+// keep failing is quarantined: its circuit breaker is forced open, the
+// scheduler fast-fails its requests, and the supervisor re-probes it once
+// per breaker cooldown.
+
+#pragma once
+
+#include "core/backend.h"
+#include "core/engine_controller.h"
+#include "core/metrics.h"
+#include "core/task_manager.h"
+#include "fault/retry.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace swapserve::core {
+
+class EngineSupervisor {
+ public:
+  struct Options {
+    sim::SimDuration scan_interval = sim::Seconds(1);
+    // A running backend with active requests and no generation progress for
+    // this long is declared crashed (hung engine). Zero disables.
+    sim::SimDuration hang_deadline;
+    // A resident, idle backend is proactively swapped out after this long
+    // to shed slow accumulation of engine state. Zero disables.
+    sim::SimDuration rejuvenate_after;
+    // Backoff between restart attempts of a crashed backend; exhausting
+    // max_attempts quarantines the backend.
+    fault::RetryPolicy restart_policy;
+  };
+
+  EngineSupervisor(sim::Simulation& sim, EngineController& controller,
+                   TaskManager& task_manager, Metrics& metrics,
+                   Options options, std::uint64_t seed)
+      : sim_(sim),
+        controller_(controller),
+        task_manager_(task_manager),
+        metrics_(metrics),
+        options_(options),
+        rng_(seed) {}
+
+  // Spawn the scan loop; Stop() lets the current pass finish.
+  void Start();
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  // One scan pass (also called by the loop); returns actions taken
+  // (recoveries attempted + rejuvenations).
+  sim::Task<int> ScanOnce();
+
+  // Restart a crashed backend under its exclusive lock, with bounded
+  // retries. Success leaves it running and kDegraded (the first served
+  // request re-promotes it); exhaustion quarantines it and returns the last
+  // restart error.
+  sim::Task<Status> Recover(Backend& backend);
+
+  // Emit recovery/quarantine instants (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  sim::Simulation& sim_;
+  EngineController& controller_;
+  TaskManager& task_manager_;
+  Metrics& metrics_;
+  Options options_;
+  sim::Rng rng_;
+  obs::Observability* obs_ = nullptr;
+  bool running_ = false;
+};
+
+}  // namespace swapserve::core

@@ -94,6 +94,36 @@ void Metrics::RecordSwapOver(const std::string& out_model,
                {{"direction", "over"}, {"model", in_model}}, latency_s);
 }
 
+void Metrics::RecordSwapRetry(const std::string& model) {
+  ++swap_retries;
+  obs::IncCounter(obs_, "swapserve_swap_retries_total", {{"model", model}});
+}
+
+void Metrics::RecordRequeue(const std::string& model) {
+  ++requeues;
+  obs::IncCounter(obs_, "swapserve_requeues_total", {{"model", model}});
+}
+
+void Metrics::RecordRecovery(const std::string& model,
+                             const std::string& kind, double latency_s) {
+  ++recoveries;
+  recovery_latency_s.Add(latency_s);
+  obs::IncCounter(obs_, "swapserve_recovery_total",
+                  {{"model", model}, {"kind", kind}});
+  obs::Observe(obs_, "swapserve_recovery_seconds", {{"model", model}},
+               latency_s);
+}
+
+void Metrics::RecordQuarantine(const std::string& model) {
+  ++quarantines;
+  obs::IncCounter(obs_, "swapserve_quarantine_total", {{"model", model}});
+}
+
+void Metrics::RecordRejuvenation(const std::string& model) {
+  ++rejuvenations;
+  obs::IncCounter(obs_, "swapserve_rejuvenation_total", {{"model", model}});
+}
+
 std::uint64_t Metrics::TotalCompleted() const {
   std::uint64_t total = 0;
   for (const auto& [model, m] : per_model_) total += m.completed;

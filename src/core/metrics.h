@@ -65,6 +65,16 @@ class Metrics {
                       const std::string& in_model, double latency_s,
                       double overlap_s);
 
+  // --- recovery outcomes (scheduler retries, worker requeues, supervisor
+  // restarts, quarantine transitions) ------------------------------------
+  void RecordSwapRetry(const std::string& model);
+  void RecordRequeue(const std::string& model);
+  // A completed recovery action; `kind` is "restart", "cold_fallback", ...
+  void RecordRecovery(const std::string& model, const std::string& kind,
+                      double latency_s);
+  void RecordQuarantine(const std::string& model);
+  void RecordRejuvenation(const std::string& model);
+
   // System-wide counters.
   std::uint64_t swap_ins = 0;
   std::uint64_t swap_outs = 0;
@@ -74,6 +84,14 @@ class Metrics {
   Samples swap_out_latency_s;
   Samples swap_over_latency_s;
   Samples swap_overlap_s;
+
+  // Self-healing counters (all zero in fault-free runs).
+  std::uint64_t swap_retries = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t rejuvenations = 0;
+  Samples recovery_latency_s;
 
   // Aggregates across models.
   std::uint64_t TotalCompleted() const;

@@ -24,6 +24,33 @@ void ModelWorker::RespondError(const QueuedRequest& item,
   item.response->Close();
 }
 
+sim::Task<> ModelWorker::FailOrRequeue(QueuedRequest item, Status status,
+                                       std::string error) {
+  const bool deadline_ok =
+      item.request.deadline_s <= 0 ||
+      sim_.Now().ToSeconds() < item.request.deadline_s;
+  if (fault::IsRetryable(status) && item.attempt < request_retries_ &&
+      deadline_ok) {
+    ++item.attempt;
+    metrics_.RecordRequeue(backend_.name());
+    const sim::SimDuration backoff = backoff_.BackoffBefore(item.attempt, rng_);
+    SWAP_LOG(kWarning, "worker")
+        << backend_.name() << ": request " << item.request.id
+        << " failed, requeueing (attempt " << item.attempt << "/"
+        << request_retries_ << ") in " << backoff.ToString() << ": "
+        << status;
+    obs::Instant(obs_, "requeue", "worker", backend_.name(),
+                 {{"request_id", std::to_string(item.request.id)},
+                  {"attempt", std::to_string(item.attempt)}});
+    co_await sim_.Delay(backoff);
+    QueuedRequest copy = item;  // TrySend consumes its argument
+    if (backend_.queue->TrySend(std::move(item))) co_return;
+    item = std::move(copy);  // queue full or closed: the error is terminal
+  }
+  metrics_.RecordFailed(backend_.name());
+  RespondError(item, error);
+}
+
 sim::Task<> ModelWorker::Run() {
   while (true) {
     std::optional<QueuedRequest> next = co_await backend_.queue->Recv();
@@ -74,8 +101,8 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
   const double swap_wait_s =
       was_resident ? 0.0 : (sim_.Now() - t0).ToSeconds();
   if (!pin.ok()) {
-    metrics_.RecordFailed(backend_.name());
-    RespondError(item, "swap-in failed: " + pin.status().ToString());
+    co_await FailOrRequeue(std::move(item), pin.status(),
+                           "swap-in failed: " + pin.status().ToString());
     co_return;
   }
 
@@ -91,8 +118,11 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
   pin->Release();
 
   if (!result.ok()) {
-    metrics_.RecordFailed(backend_.name());
-    RespondError(item, result.status().ToString());
+    // A mid-request engine crash surfaces here; the requeued attempt finds
+    // the backend kCrashed and rides the scheduler's retry/requeue window
+    // while the supervisor restarts it.
+    co_await FailOrRequeue(std::move(item), result.status(),
+                           result.status().ToString());
     co_return;
   }
 

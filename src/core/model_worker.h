@@ -8,6 +8,8 @@
 #include "core/backend.h"
 #include "core/metrics.h"
 #include "core/scheduler.h"
+#include "fault/retry.h"
+#include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 
@@ -32,9 +34,25 @@ class ModelWorker {
   // Emit per-request serve spans and queue-wait histograms (nullable).
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
+  // Requeue-with-backoff on retryable relay failures: a failed request
+  // re-enters the backend queue up to `request_retries` extra attempts
+  // before the error turns terminal. The rng is only drawn from on a
+  // failed attempt, so fault-free schedules are unaffected by the seed.
+  void ConfigureRecovery(const fault::RetryPolicy& backoff,
+                         int request_retries, std::uint64_t seed) {
+    backoff_ = backoff;
+    request_retries_ = request_retries;
+    rng_ = sim::Rng(seed);
+  }
+
  private:
   sim::Task<> Run();
   sim::Task<> Relay(QueuedRequest item);
+  // Requeue `item` after a jittered backoff when `status` is retryable and
+  // the attempt budget / client deadline allow it; otherwise (or when the
+  // queue is closed) record the failure and answer the client with `error`.
+  sim::Task<> FailOrRequeue(QueuedRequest item, Status status,
+                            std::string error);
   void RespondError(const QueuedRequest& item, const std::string& error);
 
   sim::Simulation& sim_;
@@ -44,6 +62,9 @@ class ModelWorker {
   obs::Observability* obs_ = nullptr;
   bool running_ = false;
   int active_relays_ = 0;
+  fault::RetryPolicy backoff_;
+  int request_retries_ = 2;
+  sim::Rng rng_{0x5eedu};
 };
 
 }  // namespace swapserve::core

@@ -1,11 +1,54 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace swapserve::core {
 
 sim::Task<Result<sim::SimRwLock::SharedGuard>>
 Scheduler::EnsureRunningAndPin(Backend& backend) {
+  // Supervisor-quarantined backends fast-fail: their restarts keep
+  // failing, and probing is the supervisor's job, not request traffic's.
+  if (backend.health.state == BackendHealth::State::kQuarantined) {
+    co_return Unavailable("backend " + backend.name() + " is quarantined");
+  }
+  // Circuit breaker tripped by request-path failures: fast-fail while
+  // open, admit a single probe request once the cooldown elapses. Checked
+  // once per call (not per loop iteration) so the admitted probe is not
+  // rejected by its own retries; its outcome is recorded below.
+  if (!backend.health.breaker.AllowRequest()) {
+    co_return Unavailable("backend " + backend.name() +
+                          ": circuit breaker open");
+  }
+  // Breaker bookkeeping for real attempts (the fast-fail gates above never
+  // reach these): a granted pin closes the breaker, a terminal failure
+  // counts toward its trip threshold.
+  auto record_success = [&backend] {
+    backend.health.breaker.RecordSuccess();
+    if (backend.health.state == BackendHealth::State::kDegraded) {
+      backend.health.state = BackendHealth::State::kHealthy;
+    }
+  };
+  auto record_failure = [this, &backend] {
+    const std::uint64_t trips = backend.health.breaker.trips();
+    backend.health.breaker.RecordFailure();
+    if (backend.health.breaker.trips() > trips) {
+      ++backend.health.quarantines;
+      if (metrics_ != nullptr) metrics_->RecordQuarantine(backend.name());
+      SWAP_LOG(kWarning, "scheduler")
+          << backend.name() << ": circuit breaker opened after "
+          << backend.health.breaker.consecutive_failures()
+          << " consecutive failures";
+    }
+  };
+
+  // Reservation/swap-in failures below are retried with backoff up to the
+  // policy's budget; `failures` persists across loop iterations, and
+  // `crash_waits` separately bounds how long a request camps on a crashed
+  // backend waiting for the supervisor's restart.
+  int failures = 0;
+  int crash_waits = 0;
   while (true) {
     if (backend.engine->state() == engine::BackendState::kRunning) {
       // Pin. The lock is FIFO, so we may wait behind a queued preemption;
@@ -13,6 +56,7 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
       sim::SimRwLock::SharedGuard pin =
           co_await backend.lock.AcquireShared();
       if (backend.engine->state() == engine::BackendState::kRunning) {
+        record_success();
         co_return pin;
       }
       pin.Release();
@@ -36,7 +80,29 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
       continue;
     }
 
+    if (backend.engine->state() == engine::BackendState::kCrashed ||
+        backend.engine->state() == engine::BackendState::kInitializing) {
+      // Drain/requeue semantics: a crash is the supervisor's to fix, so
+      // hold the request through the restart window instead of failing it
+      // immediately. Bounded — give up once the wait budget is spent or
+      // the backend is quarantined mid-wait.
+      if (backend.health.state == BackendHealth::State::kQuarantined) {
+        co_return Unavailable("backend " + backend.name() +
+                              " is quarantined");
+      }
+      ++crash_waits;
+      if (crash_waits > 4 * retry_policy_.max_attempts) {
+        record_failure();
+        co_return Unavailable("backend " + backend.name() +
+                              " crashed and did not recover in time");
+      }
+      co_await sim_.Delay(
+          retry_policy_.BackoffBefore(std::min(crash_waits, 6), rng_));
+      continue;
+    }
+
     if (backend.engine->state() != engine::BackendState::kSwappedOut) {
+      record_failure();
       co_return Unavailable(
           "backend " + backend.name() + " is " +
           std::string(engine::BackendStateName(backend.engine->state())));
@@ -60,11 +126,25 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
           pin.Release();
           continue;
         }
+        record_success();
         co_return pin;
       }
       if (status.code() != StatusCode::kResourceExhausted) {
         backend.swap_in_progress = false;
         backend.swap_done.Set();
+        ++failures;
+        if (retry_policy_.ShouldRetry(status, failures)) {
+          if (metrics_ != nullptr) metrics_->RecordSwapRetry(backend.name());
+          const sim::SimDuration backoff =
+              retry_policy_.BackoffBefore(failures, rng_);
+          SWAP_LOG(kWarning, "scheduler")
+              << "pipelined swap-in of " << backend.name() << " failed ("
+              << failures << "/" << retry_policy_.max_attempts
+              << "): " << status << "; retrying in " << backoff.ToString();
+          co_await sim_.Delay(backoff);
+          continue;
+        }
+        record_failure();
         co_return status;
       }
       SWAP_LOG(kWarning, "scheduler")
@@ -107,11 +187,28 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
                  {{"model", backend.name()}},
                  (sim_.Now() - reserve_start).ToSeconds());
     if (!status.ok()) {
-      SWAP_LOG(kWarning, "scheduler")
-          << "reservation for " << backend.name() << " failed: " << status;
+      // A failed reservation is not terminal by itself: release any shards
+      // already acquired, back off, and retry — the memory pressure that
+      // starved us may clear. Terminal only after the budget is spent.
       reservations.clear();  // release any shards already acquired
       backend.swap_in_progress = false;
       backend.swap_done.Set();
+      ++failures;
+      if (retry_policy_.ShouldRetry(status, failures)) {
+        if (metrics_ != nullptr) metrics_->RecordSwapRetry(backend.name());
+        const sim::SimDuration backoff =
+            retry_policy_.BackoffBefore(failures, rng_);
+        SWAP_LOG(kWarning, "scheduler")
+            << "reservation for " << backend.name() << " failed ("
+            << failures << "/" << retry_policy_.max_attempts
+            << "): " << status << "; retrying in " << backoff.ToString();
+        co_await sim_.Delay(backoff);
+        continue;
+      }
+      SWAP_LOG(kWarning, "scheduler")
+          << "reservation for " << backend.name()
+          << " failed after " << failures << " attempt(s): " << status;
+      record_failure();
       co_return status;
     }
 
@@ -120,6 +217,19 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
       reservations.clear();
       backend.swap_in_progress = false;
       backend.swap_done.Set();
+      ++failures;
+      if (retry_policy_.ShouldRetry(status, failures)) {
+        if (metrics_ != nullptr) metrics_->RecordSwapRetry(backend.name());
+        const sim::SimDuration backoff =
+            retry_policy_.BackoffBefore(failures, rng_);
+        SWAP_LOG(kWarning, "scheduler")
+            << "swap-in of " << backend.name() << " failed (" << failures
+            << "/" << retry_policy_.max_attempts << "): " << status
+            << "; retrying in " << backoff.ToString();
+        co_await sim_.Delay(backoff);
+        continue;
+      }
+      record_failure();
       co_return status;
     }
 
@@ -136,6 +246,7 @@ Scheduler::EnsureRunningAndPin(Backend& backend) {
       pin.Release();
       continue;
     }
+    record_success();
     co_return pin;
   }
 }

@@ -14,7 +14,10 @@
 
 #include "core/backend.h"
 #include "core/engine_controller.h"
+#include "core/metrics.h"
 #include "core/task_manager.h"
+#include "fault/retry.h"
+#include "sim/random.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -43,12 +46,27 @@ class Scheduler {
   // reserve-then-swap-in path on RESOURCE_EXHAUSTED.
   void ConfigurePipeline(bool enabled) { pipelined_ = enabled; }
 
+  // Bounded retries with jittered backoff around reservation + swap-in
+  // failures. The rng is only drawn from on a failed attempt, so fault-free
+  // schedules are unaffected by the seed.
+  void ConfigureRecovery(const fault::RetryPolicy& policy,
+                         std::uint64_t seed) {
+    retry_policy_ = policy;
+    rng_ = sim::Rng(seed);
+  }
+
+  // Count retry attempts into the serving metrics (nullable).
+  void BindMetrics(Metrics* metrics) { metrics_ = metrics; }
+
  private:
   obs::Observability* obs_ = nullptr;
+  Metrics* metrics_ = nullptr;
   sim::Simulation& sim_;
   TaskManager& task_manager_;
   EngineController& controller_;
   bool pipelined_ = false;
+  fault::RetryPolicy retry_policy_;
+  sim::Rng rng_{0x5eedu};
 };
 
 }  // namespace swapserve::core

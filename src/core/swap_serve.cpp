@@ -7,6 +7,25 @@
 #include "util/log.h"
 
 namespace swapserve::core {
+namespace {
+
+// Swap-in retries, request requeues, and supervisor restarts share one
+// backoff shape derived from the recovery config.
+fault::RetryPolicy MakeRetryPolicy(const RecoveryConfig& recovery) {
+  fault::RetryPolicy policy;
+  policy.max_attempts = recovery.swap_retry_attempts;
+  policy.initial_backoff = sim::Seconds(recovery.backoff_initial_s);
+  policy.max_backoff = sim::Seconds(recovery.backoff_max_s);
+  return policy;
+}
+
+// Per-component retry seeds derive from the fault seed, so one config knob
+// reproduces the whole chaos run (and fault-free runs never draw).
+std::uint64_t DeriveSeed(std::uint64_t seed, std::string_view component) {
+  return fault::StableHashCombine(seed, fault::StableHash(component));
+}
+
+}  // namespace
 
 SwapServe::SwapServe(sim::Simulation& sim, Config config,
                      const model::ModelCatalog& catalog, Hardware hardware,
@@ -16,6 +35,7 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
       hardware_(hardware),
       options_(options),
       obs_(sim),
+      fault_injector_(sim, config_.fault.seed),
       snapshot_store_(GiB(config_.global.snapshot_budget_gib)),
       ckpt_engine_(sim, snapshot_store_),
       task_manager_(sim, hardware_.gpus),
@@ -35,6 +55,22 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
       {.enabled = config_.global.pipelined_swap,
        .chunk_bytes = MiB(config_.global.swap_chunk_mib)});
   scheduler_.ConfigurePipeline(config_.global.pipelined_swap);
+  scheduler_.ConfigureRecovery(MakeRetryPolicy(config_.recovery),
+                               DeriveSeed(config_.fault.seed, "scheduler"));
+  scheduler_.BindMetrics(&metrics_);
+
+  // Fault injection: the injector is always constructed and bound (an
+  // unarmed one never draws from its stream, so fault-free runs are
+  // byte-identical), and armed only when the config carries rules.
+  if (config_.fault.enabled()) {
+    fault_injector_.Configure(config_.fault.plan);
+  }
+  fault_injector_.BindObservability(&obs_);
+  snapshot_store_.BindFaultInjector(&fault_injector_);
+  ckpt_engine_.BindFaultInjector(&fault_injector_);
+  for (hw::GpuDevice* gpu : hardware_.gpus) {
+    gpu->BindFaultInjector(&fault_injector_);
+  }
 
   // One Observability threads through every layer; components stay usable
   // without it (tests construct them directly).
@@ -78,6 +114,10 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
         sim_, entry, spec,
         engine::CreateEngine(kind, env, spec, eng_options, entry.model_id),
         config_.global.queue_capacity);
+    backend->engine->BindFaultInjector(&fault_injector_);
+    backend->health.breaker.Configure(
+        config_.recovery.breaker_failure_threshold,
+        sim::Seconds(config_.recovery.breaker_cooldown_s));
     controller_.RegisterBackend(backend.get());
     handler_.RegisterBackend(backend.get());
     backends_.push_back(std::move(backend));
@@ -133,9 +173,26 @@ sim::Task<Status> SwapServe::Initialize() {
     workers_.push_back(std::make_unique<ModelWorker>(
         sim_, *backend, scheduler_, metrics_));
     workers_.back()->BindObservability(&obs_);
+    workers_.back()->ConfigureRecovery(
+        MakeRetryPolicy(config_.recovery),
+        config_.recovery.request_retry_attempts,
+        DeriveSeed(config_.fault.seed, "worker." + backend->name()));
     workers_.back()->Start();
   }
   monitor_->Start();
+  if (config_.recovery.health_check_interval_s > 0) {
+    EngineSupervisor::Options sup;
+    sup.scan_interval =
+        sim::Seconds(config_.recovery.health_check_interval_s);
+    sup.hang_deadline = sim::Seconds(config_.recovery.hang_deadline_s);
+    sup.rejuvenate_after = sim::Seconds(config_.recovery.rejuvenate_after_s);
+    sup.restart_policy = MakeRetryPolicy(config_.recovery);
+    supervisor_ = std::make_unique<EngineSupervisor>(
+        sim_, controller_, task_manager_, metrics_, sup,
+        DeriveSeed(config_.fault.seed, "supervisor"));
+    supervisor_->BindObservability(&obs_);
+    supervisor_->Start();
+  }
   if (config_.global.idle_swap_out_s > 0) {
     idle_reaper_ = std::make_unique<IdleReaper>(
         sim_, controller_, sim::Seconds(config_.global.idle_swap_out_s),
@@ -152,6 +209,7 @@ void SwapServe::Shutdown() {
   }
   monitor_->Stop();
   if (idle_reaper_ != nullptr) idle_reaper_->Stop();
+  if (supervisor_ != nullptr) supervisor_->Stop();
 }
 
 sim::Task<ChatResult> SwapServe::CollectResponse(ResponseChannelPtr channel) {

@@ -19,6 +19,7 @@
 #include "core/backend.h"
 #include "core/config.h"
 #include "core/engine_controller.h"
+#include "core/engine_supervisor.h"
 #include "core/idle_reaper.h"
 #include "core/metrics.h"
 #include "core/model_worker.h"
@@ -26,6 +27,7 @@
 #include "core/router.h"
 #include "core/scheduler.h"
 #include "core/task_manager.h"
+#include "fault/fault_injector.h"
 #include "hw/gpu_device.h"
 #include "hw/gpu_monitor.h"
 #include "hw/link.h"
@@ -87,6 +89,11 @@ class SwapServe {
   Scheduler& scheduler() { return scheduler_; }
   ckpt::SnapshotStore& snapshot_store() { return snapshot_store_; }
   hw::GpuMonitor& monitor() { return *monitor_; }
+  // The shared fault injector (armed only when config.fault has rules; an
+  // unarmed injector perturbs nothing). Tests may Configure() it directly.
+  fault::FaultInjector& fault_injector() { return fault_injector_; }
+  // Null unless recovery.health_check_interval_s > 0.
+  EngineSupervisor* supervisor() { return supervisor_.get(); }
   bool initialized() const { return initialized_; }
 
  private:
@@ -97,6 +104,7 @@ class SwapServe {
 
   obs::Observability obs_;
   Metrics metrics_;
+  fault::FaultInjector fault_injector_;
   ckpt::SnapshotStore snapshot_store_;
   ckpt::CheckpointEngine ckpt_engine_;
   TaskManager task_manager_;
@@ -107,6 +115,7 @@ class SwapServe {
   AdminApi admin_;
   std::unique_ptr<hw::GpuMonitor> monitor_;
   std::unique_ptr<IdleReaper> idle_reaper_;  // null unless configured
+  std::unique_ptr<EngineSupervisor> supervisor_;  // null unless configured
 
   std::vector<std::unique_ptr<Backend>> backends_;
   std::vector<std::unique_ptr<ModelWorker>> workers_;

@@ -54,6 +54,7 @@ sim::Task<Result<TaskManager::Reservation>> TaskManager::Reserve(
   Waiter waiter(sim_);
   waiter.owner = std::move(owner);
   waiter.bytes = bytes;
+  waiter.ticket = next_ticket_++;
   q.waiters.push_back(&waiter);
   obs::Span wait_span = obs::StartSpan(obs_, "tm.reserve_wait", "task-mgr",
                                        "gpu" + std::to_string(gpu));
@@ -145,23 +146,29 @@ sim::Task<> TaskManager::ReclaimForHead(hw::GpuId gpu) {
     q.reclaiming = false;
     co_return;
   }
-  Waiter* head = q.waiters.front();
+  // Capture the head by ticket, not pointer: the waiter lives inside its
+  // Reserve coroutine frame, and a concurrent release can grant it — and
+  // destroy that frame — while the reclaim below is suspended. The retained
+  // pointer would then dangle (and a recycled frame could even alias it).
+  const std::uint64_t head_ticket = q.waiters.front()->ticket;
   const Bytes needed =
-      std::max(Bytes(0), head->bytes - Reservable(gpu));
+      std::max(Bytes(0), q.waiters.front()->bytes - Reservable(gpu));
 
   Bytes freed(0);
   if (delegate_ != nullptr && needed.count() > 0) {
     obs::IncCounter(obs_, "swapserve_reclaims_total",
                     {{"gpu", std::to_string(gpu)}});
-    freed = co_await delegate_->ReclaimMemory(gpu, needed, head->owner);
+    freed = co_await delegate_->ReclaimMemory(gpu, needed,
+                                              q.waiters.front()->owner);
   }
   q.reclaiming = false;
 
   // The head may already have been satisfied by a concurrent release.
-  if (q.waiters.empty() || q.waiters.front() != head) {
+  if (q.waiters.empty() || q.waiters.front()->ticket != head_ticket) {
     Pump(gpu);
     co_return;
   }
+  Waiter* head = q.waiters.front();
   if (head->bytes <= Reservable(gpu)) {
     Pump(gpu);
     co_return;

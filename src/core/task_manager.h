@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <string>
@@ -34,8 +35,12 @@ class TaskManager {
   class ReclaimDelegate {
    public:
     virtual ~ReclaimDelegate() = default;
+    // `requester` is taken by value on purpose: the reclaim coroutine can
+    // outlive the waiter whose owner string names the requester (a
+    // concurrent release may grant the head mid-reclaim and destroy its
+    // frame), so the coroutine frame must own its copy.
     virtual sim::Task<Bytes> ReclaimMemory(hw::GpuId gpu, Bytes needed,
-                                           const std::string& requester) = 0;
+                                           std::string requester) = 0;
   };
 
   TaskManager(sim::Simulation& sim, std::vector<hw::GpuDevice*> gpus);
@@ -121,6 +126,12 @@ class TaskManager {
     sim::SimEvent event;
     bool granted = false;
     Status failure;
+    // Identity that survives the waiter's death: the waiter lives in its
+    // Reserve coroutine frame, which a concurrent grant can destroy while
+    // ReclaimForHead is suspended. Code that resumes after a suspension
+    // must re-identify the head by ticket, never by the retained pointer
+    // (freed frames can be reallocated at the same address).
+    std::uint64_t ticket = 0;
     explicit Waiter(sim::Simulation& sim) : event(sim) {}
   };
 
@@ -145,6 +156,7 @@ class TaskManager {
   std::vector<hw::GpuDevice*> gpus_;
   std::map<hw::GpuId, GpuQueue> queues_;
   ReclaimDelegate* delegate_ = nullptr;
+  std::uint64_t next_ticket_ = 1;
 };
 
 }  // namespace swapserve::core

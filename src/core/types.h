@@ -49,6 +49,9 @@ using ResponseChannelPtr = std::shared_ptr<ResponseChannel>;
 struct QueuedRequest {
   InferenceRequest request;
   ResponseChannelPtr response;
+  // How many times this request has already been attempted; the worker's
+  // requeue path bumps it and gives up past the configured retry budget.
+  int attempt = 0;
 };
 
 // Final per-request outcome, as observed by callers of helpers like

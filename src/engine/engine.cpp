@@ -33,6 +33,7 @@ std::string_view BackendStateName(BackendState s) {
     case BackendState::kRunning: return "running";
     case BackendState::kSwappedOut: return "swapped-out";
     case BackendState::kSwapping: return "swapping";
+    case BackendState::kCrashed: return "crashed";
     case BackendState::kStopped: return "stopped";
   }
   return "?";
@@ -125,7 +126,29 @@ sim::Task<Result<GenerationResult>> InferenceEngine::Generate(
   SWAP_CHECK_MSG(req.prompt_tokens > 0, "empty prompt");
   ++active_requests_;
   ++total_requests_;
+  last_progress_ = sim().Now();
+  // Stale-coroutine guard: if the process crashes while this request is in
+  // flight, MarkCrashed bumps the epoch and zeroes active_requests_; the
+  // resumed coroutine must then bail out without touching the counters.
+  const std::uint64_t epoch = restart_epoch_;
   const sim::SimTime start = sim().Now();
+
+  {
+    fault::FaultDecision f = fault::Evaluate(fault_, "engine.crash", name_);
+    if (!f.status.ok()) {
+      MarkCrashed(f.status.message());
+      co_return f.status;
+    }
+  }
+  {
+    // A hang stalls the request without burning compute; the supervisor's
+    // deadline on last_progress() eventually declares the process dead.
+    fault::FaultDecision f = fault::Evaluate(fault_, "engine.hang", name_);
+    if (f.stall.ns() > 0) co_await sim().Delay(f.stall);
+    if (restart_epoch_ != epoch) {
+      co_return Internal("backend " + name_ + " crashed mid-request");
+    }
+  }
 
   // Tensor parallelism scales compute and weight-streaming bandwidth by
   // the group size, derated for all-reduce communication per layer.
@@ -149,6 +172,9 @@ sim::Task<Result<GenerationResult>> InferenceEngine::Generate(
     for (hw::GpuDevice* dev : gpus) busy.emplace_back(*dev);
     co_await sim().Delay(sim::Seconds(prefill_s));
   }
+  if (restart_epoch_ != epoch) {
+    co_return Internal("backend " + name_ + " crashed mid-request");
+  }
   const sim::SimDuration ttft = sim().Now() - start;
 
   // Decode: memory-bandwidth-bound. Each step streams the (sharded)
@@ -166,14 +192,75 @@ sim::Task<Result<GenerationResult>> InferenceEngine::Generate(
     co_await sim().Delay(
         sim::Seconds(token_s * static_cast<double>(req.output_tokens)));
   }
+  if (restart_epoch_ != epoch) {
+    co_return Internal("backend " + name_ + " crashed mid-request");
+  }
 
   --active_requests_;
+  last_progress_ = sim().Now();
   co_return GenerationResult{
       .prompt_tokens = req.prompt_tokens,
       .output_tokens = req.output_tokens,
       .time_to_first_token = ttft,
       .total_time = sim().Now() - start,
   };
+}
+
+void InferenceEngine::MarkCrashed(std::string_view reason) {
+  if (state_ == BackendState::kCrashed) return;
+  // The driver releases every device allocation of a dead process.
+  Bytes freed(0);
+  for (hw::GpuDevice* dev : Gpus()) freed += dev->FreeAllOwnedBy(name_);
+  process_.ResetAfterCrash();
+  state_ = BackendState::kCrashed;
+  active_requests_ = 0;
+  ++restart_epoch_;
+  ++crash_count_;
+  SWAP_LOG(kWarning, "engine")
+      << name_ << " crashed (" << reason << "); driver released "
+      << freed.ToString() << ", epoch " << restart_epoch_;
+}
+
+sim::Task<Result<InitBreakdown>> InferenceEngine::Restart() {
+  if (state_ != BackendState::kCrashed) {
+    co_return FailedPrecondition("restart: backend " + name_ + " is " +
+                                 std::string(BackendStateName(state_)));
+  }
+  SWAP_CHECK(container_ != nullptr);
+  state_ = BackendState::kInitializing;
+  // engine.restart: the replacement process can itself fail to come up
+  // (bad node, wedged driver); repeated failures drive quarantine.
+  fault::FaultDecision f = fault::Evaluate(fault_, "engine.restart", name_);
+  if (f.stall.ns() > 0) co_await sim().Delay(f.stall);
+  if (!f.status.ok()) {
+    state_ = BackendState::kCrashed;
+    co_return f.status;
+  }
+  // A crash while swapped out leaves the cgroup frozen; thaw it so the
+  // replacement process can boot.
+  if (container_->state() == container::ContainerState::kPaused) {
+    Status s = co_await container_->Unpause();
+    if (!s.ok()) {
+      state_ = BackendState::kCrashed;
+      co_return s;
+    }
+  }
+  Result<InitBreakdown> breakdown = co_await InitializeEngine();
+  if (!breakdown.ok()) {
+    // Initialization may have died after claiming some device memory
+    // (e.g. weights landed, KV-arena allocation failed); release it so a
+    // retry starts from a clean slate.
+    for (hw::GpuDevice* dev : Gpus()) dev->FreeAllOwnedBy(name_);
+    state_ = BackendState::kCrashed;
+    co_return breakdown.status();
+  }
+  state_ = BackendState::kRunning;
+  last_progress_ = sim().Now();
+  SWAP_LOG(kInfo, "engine")
+      << name_ << " restarted after crash in "
+      << breakdown->Total().ToString() << " ("
+      << GpuResidentBytes().ToString() << " resident)";
+  co_return breakdown;
 }
 
 Status InferenceEngine::MarkSwapping() {

@@ -16,6 +16,7 @@
 
 #include "ckpt/cuda_checkpoint.h"
 #include "container/runtime.h"
+#include "fault/fault_injector.h"
 #include "hw/gpu_device.h"
 #include "hw/link.h"
 #include "model/calibration.h"
@@ -37,6 +38,7 @@ enum class BackendState {
   kRunning,        // serving (resident in GPU memory)
   kSwappedOut,     // checkpointed; container paused
   kSwapping,       // swap-in/out transition in progress
+  kCrashed,        // engine process died; awaiting supervisor recovery
   kStopped,
 };
 
@@ -116,6 +118,37 @@ class InferenceEngine {
   // Serve one request; valid while kRunning. Concurrent calls batch.
   sim::Task<Result<GenerationResult>> Generate(const GenerationRequest& req);
 
+  // --- crash/recovery interface (driven by the supervisor) --------------
+  // The engine process died (injected crash or declared-dead hang). Frees
+  // all device memory the driver held for it, aborts in-flight Generate
+  // coroutines via the restart epoch, and resets the checkpoint handle.
+  // Any snapshot is NOT restored by a crash recovery — a snapshot only
+  // exists while swapped out, and a crash while running has none — so
+  // recovery re-runs engine initialization (weights reload, compile cache
+  // warm) inside the existing container.
+  void MarkCrashed(std::string_view reason);
+
+  // Re-initialize after a crash. Valid from kCrashed; kRunning on success,
+  // back to kCrashed on failure (the supervisor retries or quarantines).
+  sim::Task<Result<InitBreakdown>> Restart();
+
+  // Bumped by MarkCrashed; lets stale Generate coroutines detect that the
+  // process they were running in no longer exists.
+  std::uint64_t restart_epoch() const { return restart_epoch_; }
+  // Last virtual time a Generate made observable progress (entry or
+  // completion). The supervisor's hang detector compares this against its
+  // deadline while requests are active.
+  sim::SimTime last_progress() const { return last_progress_; }
+  std::uint64_t crash_count() const { return crash_count_; }
+
+  // Nullable. Fault points: "engine.crash" (Generate aborts and the
+  // backend transitions to kCrashed), "engine.hang" (Generate stalls for
+  // the rule's stall_s without making progress — the supervisor's hang
+  // deadline turns it into a crash).
+  void BindFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   // --- hot-swap interface (driven by the engine controller) -------------
   // GPU pages whose contents must round-trip through host RAM, vs pages a
   // restore may simply re-reserve. Sleep-mode engines shrink the former.
@@ -169,9 +202,13 @@ class InferenceEngine {
   BackendState state_ = BackendState::kUninitialized;
   container::Container* container_ = nullptr;  // owned by the runtime
   ckpt::CudaCheckpointProcess process_;
+  fault::FaultInjector* fault_ = nullptr;
 
   int active_requests_ = 0;
   std::uint64_t total_requests_ = 0;
+  std::uint64_t restart_epoch_ = 0;
+  std::uint64_t crash_count_ = 0;
+  sim::SimTime last_progress_;
 };
 
 }  // namespace swapserve::engine

@@ -1,0 +1,61 @@
+#include "fault/circuit_breaker.h"
+
+namespace swapserve::fault {
+
+std::string_view CircuitStateName(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (sim_.Now() - opened_at_ < cooldown_) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      // One probe at a time; everyone else waits for its outcome.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= threshold_) ForceOpen();
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to open, cooldown restarts.
+      ForceOpen();
+      break;
+    case State::kOpen:
+      // A straggler from before the trip; the breaker is already open.
+      ++consecutive_failures_;
+      break;
+  }
+}
+
+void CircuitBreaker::ForceOpen() {
+  if (state_ != State::kOpen) ++trips_;
+  state_ = State::kOpen;
+  opened_at_ = sim_.Now();
+  probe_in_flight_ = false;
+}
+
+}  // namespace swapserve::fault

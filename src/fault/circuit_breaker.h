@@ -1,0 +1,64 @@
+// Per-backend circuit breaker (closed -> open -> half-open -> closed).
+//
+// After `failure_threshold` consecutive failures the breaker opens: the
+// scheduler fast-fails requests for the backend instead of grinding
+// through doomed swap-ins. After `cooldown` one probe request is admitted
+// (half-open); its success closes the breaker, its failure re-opens it and
+// restarts the cooldown. Time comes from the simulation clock, so breaker
+// behaviour is deterministic and inert in fault-free runs (the breaker
+// never leaves the closed state without a recorded failure).
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace swapserve::fault {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(sim::Simulation& sim, int failure_threshold,
+                 sim::SimDuration cooldown)
+      : sim_(sim), threshold_(failure_threshold), cooldown_(cooldown) {}
+
+  void Configure(int failure_threshold, sim::SimDuration cooldown) {
+    threshold_ = failure_threshold;
+    cooldown_ = cooldown;
+  }
+
+  // May a request (or a recovery attempt) proceed right now? Transitions
+  // open -> half-open once the cooldown elapses, admitting exactly one
+  // probe until its outcome is recorded.
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  // Force the breaker open (the supervisor quarantines a backend whose
+  // restart keeps failing without waiting for request traffic).
+  void ForceOpen();
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  std::uint64_t trips() const { return trips_; }
+  sim::SimTime opened_at() const { return opened_at_; }
+
+ private:
+  sim::Simulation& sim_;
+  int threshold_;
+  sim::SimDuration cooldown_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  sim::SimTime opened_at_;
+  bool probe_in_flight_ = false;
+  std::uint64_t trips_ = 0;
+};
+
+std::string_view CircuitStateName(CircuitBreaker::State s);
+
+}  // namespace swapserve::fault

@@ -1,0 +1,121 @@
+// Deterministic, seed-driven fault injection.
+//
+// Components expose *named fault points* — places where a real deployment
+// can fail (a restore that errors out, a DMA engine that wedges, a process
+// that dies mid-request). A FaultPlan arms a subset of those points with
+// per-evaluation probabilities; the FaultInjector turns each evaluation
+// into a reproducible decision (fail with a Status, stall for a duration,
+// or pass through) using its own xoshiro stream, so a seed fully determines
+// every chaos run. Points with no armed rule never draw from the stream:
+// an empty plan is byte-identical to running without the injector.
+//
+// Registered fault points:
+//   ckpt.swap_out    checkpoint fails before the container is frozen
+//   ckpt.swap_in     restore fails before any memory is re-acquired
+//                    (snapshot retained — the failure is retryable)
+//   ckpt.chunk       one chunk of a pipelined restore fails mid-stream,
+//                    exercising the rollback path
+//   snapshot.corrupt the staged snapshot's checksum is flipped at Put;
+//                    detected by SnapshotStore::Verify on the next restore
+//   hw.acquire       device memory acquisition fails (fail-only: the
+//                    allocator is synchronous, stalls are ignored)
+//   hw.link          the link channel wedges before a transfer (stall-only:
+//                    transfers cannot fail, they only take longer)
+//   engine.crash     the engine process dies at request entry
+//   engine.hang      the engine stops making progress for stall_s (caught
+//                    by the supervisor's hang deadline, if armed)
+//   engine.restart   a supervisor-driven restart fails to come back up;
+//                    repeated failures exhaust the retry budget and drive
+//                    quarantine
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/observability.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "util/status.h"
+
+namespace swapserve::fault {
+
+// FNV-1a: a platform-stable hash for deriving per-component seeds and
+// snapshot checksums (std::hash is implementation-defined, which would
+// break cross-platform determinism).
+std::uint64_t StableHash(std::string_view text);
+std::uint64_t StableHashCombine(std::uint64_t seed, std::uint64_t value);
+
+struct FaultRule {
+  std::string point;             // fault-point name (exact match)
+  double probability = 1.0;      // per-evaluation chance in [0, 1]
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;           // optional detail for the injected Status
+  double stall_s = 0;            // wedge this long before failing/passing
+  bool fail = true;              // false = stall-only rule
+  std::int64_t max_fires = -1;   // stop firing after this many (-1 = inf)
+  std::string owner;             // restrict to one backend ("" = any)
+  double arm_after_s = 0;        // inert before this virtual time
+};
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+// What a fault point must do: stall first (if stall is non-zero), then
+// fail with `status` (if non-OK), then proceed.
+struct FaultDecision {
+  Status status = Status::Ok();
+  sim::SimDuration stall{};
+  bool fired() const { return !status.ok() || stall.ns() > 0; }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, std::uint64_t seed);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Install a plan (replacing any previous one) and reset fire counters
+  // and the random stream, so Configure(plan) is a reproducible starting
+  // point regardless of earlier evaluations.
+  void Configure(FaultPlan plan);
+
+  // Evaluate one fault point. Draws from the stream only when at least one
+  // armed rule matches `point` (and its owner filter), so unarmed points
+  // cost nothing and perturb nothing.
+  FaultDecision Evaluate(std::string_view point, std::string_view owner);
+
+  std::uint64_t fires(std::string_view point) const;
+  std::uint64_t total_fires() const { return total_fires_; }
+  const FaultPlan& plan() const { return plan_; }
+  bool armed() const { return !plan_.rules.empty(); }
+
+  // Count fired injections as swapserve_fault_injected_total{point,owner}
+  // plus a trace instant per fire (nullable).
+  void BindObservability(obs::Observability* obs) { obs_ = obs; }
+
+ private:
+  sim::Simulation& sim_;
+  std::uint64_t seed_;
+  sim::Rng rng_;
+  FaultPlan plan_;
+  std::vector<std::int64_t> fires_left_;  // parallel to plan_.rules
+  std::map<std::string, std::uint64_t, std::less<>> fires_by_point_;
+  std::uint64_t total_fires_ = 0;
+  obs::Observability* obs_ = nullptr;
+};
+
+// Null-safe helper mirroring the obs:: free functions: components hold a
+// nullable FaultInjector* and evaluate through this.
+inline FaultDecision Evaluate(FaultInjector* injector, std::string_view point,
+                              std::string_view owner) {
+  if (injector == nullptr) return {};
+  return injector->Evaluate(point, owner);
+}
+
+}  // namespace swapserve::fault

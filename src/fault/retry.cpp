@@ -1,0 +1,33 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+
+namespace swapserve::fault {
+
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kAborted:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status, int attempts_made) const {
+  return attempts_made < max_attempts && IsRetryable(status);
+}
+
+sim::SimDuration RetryPolicy::BackoffBefore(int retry_index,
+                                            sim::Rng& rng) const {
+  double base_s = initial_backoff.ToSeconds();
+  for (int i = 1; i < retry_index; ++i) base_s *= multiplier;
+  base_s = std::min(base_s, max_backoff.ToSeconds());
+  const double factor = jitter > 0 ? rng.Uniform(1.0 - jitter, 1.0 + jitter)
+                                   : 1.0;
+  return sim::Seconds(std::max(0.0, base_s * factor));
+}
+
+}  // namespace swapserve::fault

@@ -18,6 +18,11 @@ void GpuDevice::BindObservability(obs::Observability* obs) {
   PublishMemoryGauges();
 }
 
+void GpuDevice::BindFaultInjector(fault::FaultInjector* injector) {
+  fault_ = injector;
+  pcie_.BindFaultInjector(injector);
+}
+
 void GpuDevice::PublishMemoryGauges() {
   if (obs_ == nullptr) return;
   const obs::LabelSet labels = {{"gpu", std::to_string(id_)}};
@@ -32,6 +37,10 @@ void GpuDevice::PublishMemoryGauges() {
 Result<AllocationId> GpuDevice::Allocate(const std::string& owner, Bytes size,
                                          const std::string& purpose) {
   SWAP_CHECK_MSG(size.count() >= 0, "negative allocation");
+  {
+    fault::FaultDecision f = fault::Evaluate(fault_, "hw.acquire", owner);
+    if (!f.status.ok()) return f.status;
+  }
   if (used_ + size > spec_.memory) {
     return ResourceExhausted(
         "gpu" + std::to_string(id_) + ": " + owner + " requested " +

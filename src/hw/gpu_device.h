@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "hw/gpu_spec.h"
 #include "hw/link.h"
 #include "obs/observability.h"
@@ -42,6 +43,10 @@ class GpuDevice {
 
   // Publish memory-occupancy gauges to the telemetry registry (nullable).
   void BindObservability(obs::Observability* obs);
+  // Nullable. Fault points: "hw.acquire" fails Allocate (fail-only —
+  // allocation is synchronous, so a stall cannot be honoured here);
+  // "hw.link" stalls transfers on both DMA channels (see Link).
+  void BindFaultInjector(fault::FaultInjector* injector);
   Bytes capacity() const { return spec_.memory; }
   Bytes used() const { return used_; }
   Bytes free() const { return spec_.memory - used_; }
@@ -115,6 +120,7 @@ class GpuDevice {
   void PublishMemoryGauges();
 
   obs::Observability* obs_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   sim::Simulation& sim_;
   GpuId id_;
   GpuSpec spec_;

@@ -43,6 +43,12 @@ sim::Task<> Link::Transfer(Bytes size) {
 sim::Task<> Link::TransferChunked(Bytes size, TransferOptions options) {
   SWAP_CHECK_MSG(size.count() >= 0, "negative transfer");
   SWAP_CHECK_MSG(options.chunk_bytes.count() >= 0, "negative chunk size");
+  {
+    // Stall-only: the transfer still completes, just later (a degraded
+    // lane); Transfer's Task<> signature stays infallible.
+    fault::FaultDecision f = fault::Evaluate(fault_, "hw.link", name_);
+    if (f.stall.ns() > 0) co_await sim_.Delay(f.stall);
+  }
   const BytesPerSecond bw = options.bandwidth.value_or(bandwidth_);
   const sim::SimDuration setup = options.setup.value_or(setup_latency_);
   const bool chunked =

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault_injector.h"
 #include "obs/observability.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -86,6 +87,14 @@ class Link {
   // the cumulative counter lets scrapers rate() it.
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
+  // Nullable. Fault point "hw.link": stall-only (a degraded or retrained
+  // lane delays the transfer; hard transfer errors surface at the ckpt
+  // layer, which owns the retry/rollback semantics). The owner passed to
+  // the injector is the link name.
+  void BindFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   struct ChannelWaiter {
     std::coroutine_handle<> handle;
@@ -118,6 +127,7 @@ class Link {
   void EnqueueWaiter(ChannelWaiter waiter);
 
   obs::Observability* obs_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   sim::Simulation& sim_;
   std::string name_;
   BytesPerSecond bandwidth_;
@@ -148,6 +158,11 @@ class DuplexLink {
   void BindObservability(obs::Observability* obs) {
     h2d_.BindObservability(obs);
     d2h_.BindObservability(obs);
+  }
+
+  void BindFaultInjector(fault::FaultInjector* injector) {
+    h2d_.BindFaultInjector(injector);
+    d2h_.BindFaultInjector(injector);
   }
 
  private:

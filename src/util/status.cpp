@@ -1,6 +1,10 @@
 #include "util/status.h"
 
+#include <array>
+#include <cctype>
 #include <iostream>
+
+#include "util/log.h"
 
 namespace swapserve {
 
@@ -18,8 +22,51 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
+}
+
+Result<StatusCode> ParseStatusCode(std::string_view name) {
+  constexpr std::array<StatusCode, 13> kCodes = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kResourceExhausted,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,
+      StatusCode::kAborted,
+      StatusCode::kInternal,
+      StatusCode::kUnimplemented,
+      StatusCode::kDataLoss,
+  };
+  auto matches = [&](std::string_view canonical) {
+    if (name.size() != canonical.size()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(name[i])) !=
+          canonical[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (StatusCode code : kCodes) {
+    if (matches(StatusCodeName(code))) return code;
+  }
+  return InvalidArgument("unknown status code \"" + std::string(name) +
+                         "\"");
+}
+
+void WarnIfError(const Status& status, std::string_view component,
+                 const std::source_location& loc) {
+  if (!status.ok()) {
+    SWAP_LOG(kWarning, component)
+        << "ignored error at " << loc.file_name() << ":" << loc.line()
+        << ": " << status;
+  }
 }
 
 std::string Status::ToString() const {

@@ -33,6 +33,7 @@ enum class StatusCode {
   kAborted,
   kInternal,
   kUnimplemented,
+  kDataLoss,  // unrecoverable corruption (e.g. snapshot checksum mismatch)
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -96,6 +97,9 @@ inline Status Internal(std::string msg) {
 inline Status Unimplemented(std::string msg) {
   return {StatusCode::kUnimplemented, std::move(msg)};
 }
+inline Status DataLoss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>
@@ -151,6 +155,11 @@ class [[nodiscard]] Result {
   std::variant<T, Status> value_;
 };
 
+// Inverse of StatusCodeName; accepts the canonical upper-snake names
+// ("RESOURCE_EXHAUSTED") case-insensitively. Used by config parsing so
+// fault plans can name the Status a fault point should fail with.
+Result<StatusCode> ParseStatusCode(std::string_view name);
+
 // Fatal assertion for invariants (programming errors, not runtime errors).
 [[noreturn]] void CheckFailed(std::string_view expr, std::string_view msg,
                               const std::source_location& loc);
@@ -175,6 +184,15 @@ class [[nodiscard]] Result {
     ::swapserve::Status swap_status_ = (expr);      \
     if (!swap_status_.ok()) return swap_status_;    \
   } while (false)
+
+// Best-effort paths (rollback, cleanup, unwind after a primary failure)
+// must not silently discard a Status: log it with the call site instead.
+void WarnIfError(const Status& status, std::string_view component,
+                 const std::source_location& loc);
+
+#define SWAP_WARN_IF_ERROR(expr, component)          \
+  ::swapserve::WarnIfError((expr), (component),      \
+                           std::source_location::current())
 
 #define SWAP_CONCAT_INNER(a, b) a##b
 #define SWAP_CONCAT(a, b) SWAP_CONCAT_INNER(a, b)

@@ -87,5 +87,33 @@ TEST(SnapshotStoreTest, AllListsEverySnapshot) {
   EXPECT_EQ(store.All().size(), 2u);
 }
 
+TEST(SnapshotStoreTest, PutStampsAVerifiableChecksum) {
+  SnapshotStore store(GB(100));
+  auto id = store.Put(Make("a", 10, 2));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.Verify(*id).ok());
+  auto snap = store.Get(*id);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->checksum, SnapshotChecksum(*snap));
+  EXPECT_EQ(store.Verify(999).code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotStoreTest, CorruptionIsDetectedByVerify) {
+  SnapshotStore store(GB(100));
+  auto id = store.Put(Make("a", 10, 2));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store.Corrupt(*id).ok());
+  EXPECT_EQ(store.Verify(*id).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.Corrupt(999).code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotStoreTest, ChecksumDiffersAcrossOwnersAndSizes) {
+  Snapshot a = Make("a", 10, 2);
+  Snapshot b = Make("b", 10, 2);
+  Snapshot a2 = Make("a", 10, 3);
+  EXPECT_NE(SnapshotChecksum(a), SnapshotChecksum(b));
+  EXPECT_NE(SnapshotChecksum(a), SnapshotChecksum(a2));
+}
+
 }  // namespace
 }  // namespace swapserve::ckpt

@@ -1,0 +1,169 @@
+// Self-healing control plane: crash restart, quarantine + re-probe, hang
+// detection, and age-based rejuvenation.
+
+#include "core/engine_supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/swap_serve.h"
+#include "fixture.h"
+
+namespace swapserve::core {
+namespace {
+
+using testing::TestBed;
+
+constexpr const char* kModel = "llama-3.2-1b-fp16";
+
+fault::FaultRule Rule(std::string point, double probability) {
+  fault::FaultRule rule;
+  rule.point = std::move(point);
+  rule.probability = probability;
+  return rule;
+}
+
+fault::FaultPlan OneRule(fault::FaultRule rule) {
+  fault::FaultPlan plan;
+  plan.rules.push_back(std::move(rule));
+  return plan;
+}
+
+TEST(EngineSupervisorTest, CrashedBackendIsRestartedInPlace) {
+  TestBed bed;
+  SwapServe serve(bed.sim, bed.MakeConfig({{kModel, "ollama"}}),
+                  bed.catalog, bed.hardware());
+  ChatResult after;
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    ChatResult warm = co_await serve.ChatAndWait(kModel, 128, 32);
+    EXPECT_TRUE(warm.ok);
+    Backend* b = serve.backend(kModel);
+    EXPECT_EQ(b->engine->state(), engine::BackendState::kRunning);
+
+    b->engine->MarkCrashed("test-induced crash");
+    EXPECT_EQ(b->engine->state(), engine::BackendState::kCrashed);
+    EXPECT_EQ(bed.gpus[0]->used().count(), 0);  // crash freed the device
+
+    // The next scan (interval 1s) restarts it; a request then serves.
+    co_await bed.sim.Delay(sim::Minutes(5));
+    EXPECT_EQ(b->engine->state(), engine::BackendState::kRunning);
+    EXPECT_GE(b->health.recoveries, 1u);
+    after = co_await serve.ChatAndWait(kModel, 128, 32);
+    serve.Shutdown();
+  });
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_GE(serve.metrics().recoveries, 1u);
+  EXPECT_EQ(serve.metrics().quarantines, 0u);
+  // A post-recovery request re-promotes the backend to healthy.
+  EXPECT_EQ(serve.backend(kModel)->health.state,
+            BackendHealth::State::kHealthy);
+}
+
+TEST(EngineSupervisorTest, RequestsSurviveACrashViaRequeue) {
+  TestBed bed;
+  SwapServe serve(bed.sim, bed.MakeConfig({{kModel, "ollama"}}),
+                  bed.catalog, bed.hardware());
+  ChatResult result;
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    EXPECT_TRUE((co_await serve.ChatAndWait(kModel, 64, 16)).ok);
+    // Crash the engine, then immediately submit: the scheduler camps on
+    // the crashed backend (bounded crash-wait) and the request completes
+    // once the supervisor has restarted it — no terminal error.
+    serve.backend(kModel)->engine->MarkCrashed("test-induced crash");
+    result = co_await serve.ChatAndWait(kModel, 128, 32);
+    serve.Shutdown();
+  });
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GE(serve.metrics().recoveries, 1u);
+  EXPECT_EQ(serve.metrics().TotalFailed(), 0u);
+}
+
+TEST(EngineSupervisorTest, RepeatedRestartFailureQuarantinesThenRecovers) {
+  TestBed bed;
+  Config cfg = bed.MakeConfig({{kModel, "ollama"}});
+  cfg.recovery.breaker_cooldown_s = 30.0;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    EXPECT_TRUE((co_await serve.ChatAndWait(kModel, 64, 16)).ok);
+    Backend* b = serve.backend(kModel);
+
+    // Every restart attempt fails while this rule is armed.
+    fault::FaultRule rule = Rule("engine.restart", 1.0);
+    rule.code = StatusCode::kInternal;
+    rule.message = "node wedged";
+    serve.fault_injector().Configure(OneRule(rule));
+    b->engine->MarkCrashed("test-induced crash");
+    co_await bed.sim.Delay(sim::Seconds(20));
+    EXPECT_EQ(b->health.state, BackendHealth::State::kQuarantined);
+    EXPECT_EQ(b->health.breaker.state(),
+              fault::CircuitBreaker::State::kOpen);
+    EXPECT_EQ(b->engine->state(), engine::BackendState::kCrashed);
+
+    // Quarantined backends fast-fail instead of queueing forever.
+    ChatResult during = co_await serve.ChatAndWait(kModel, 64, 16);
+    EXPECT_FALSE(during.ok);
+
+    // Clear the fault; the supervisor re-probes after the breaker cooldown
+    // and brings the backend back.
+    serve.fault_injector().Configure({});
+    co_await bed.sim.Delay(sim::Minutes(5));
+    EXPECT_EQ(b->engine->state(), engine::BackendState::kRunning);
+    ChatResult after = co_await serve.ChatAndWait(kModel, 64, 16);
+    EXPECT_TRUE(after.ok) << after.error;
+    serve.Shutdown();
+  });
+  EXPECT_GE(serve.metrics().quarantines, 1u);
+  EXPECT_GE(serve.metrics().recoveries, 1u);
+}
+
+TEST(EngineSupervisorTest, HangDetectionCrashesAndRestartsTheEngine) {
+  TestBed bed;
+  Config cfg = bed.MakeConfig({{kModel, "ollama"}});
+  cfg.recovery.hang_deadline_s = 5.0;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  ChatResult result;
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    EXPECT_TRUE((co_await serve.ChatAndWait(kModel, 64, 16)).ok);
+    // One request wedges for 60 (virtual) seconds at entry.
+    fault::FaultRule rule = Rule("engine.hang", 1.0);
+    rule.stall_s = 60.0;
+    rule.fail = false;
+    rule.max_fires = 1;
+    serve.fault_injector().Configure(OneRule(rule));
+    result = co_await serve.ChatAndWait(kModel, 128, 32);
+    serve.Shutdown();
+  });
+  // The supervisor declared the hang a crash, restarted the engine, and the
+  // requeued request completed — well before the 60s stall would resolve.
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GE(serve.metrics().recoveries, 1u);
+  EXPECT_GE(serve.metrics().requeues, 1u);
+  EXPECT_GE(serve.backend(kModel)->engine->crash_count(), 1u);
+}
+
+TEST(EngineSupervisorTest, RejuvenationParksLongResidentIdleBackends) {
+  TestBed bed;
+  Config cfg = bed.MakeConfig({{kModel, "ollama"}});
+  cfg.recovery.rejuvenate_after_s = 60.0;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    EXPECT_TRUE((co_await serve.ChatAndWait(kModel, 64, 16)).ok);
+    EXPECT_EQ(serve.backend(kModel)->engine->state(),
+              engine::BackendState::kRunning);
+    co_await bed.sim.Delay(sim::Minutes(3));  // idle past the threshold
+    EXPECT_EQ(serve.backend(kModel)->engine->state(),
+              engine::BackendState::kSwappedOut);
+    // It comes back on demand like any parked backend.
+    ChatResult again = co_await serve.ChatAndWait(kModel, 64, 16);
+    EXPECT_TRUE(again.ok) << again.error;
+    serve.Shutdown();
+  });
+  EXPECT_GE(serve.metrics().rejuvenations, 1u);
+}
+
+}  // namespace
+}  // namespace swapserve::core

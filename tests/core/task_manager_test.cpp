@@ -171,7 +171,7 @@ class FreeingDelegate final : public TaskManager::ReclaimDelegate {
   FreeingDelegate(sim::Simulation& sim, hw::GpuDevice& gpu)
       : sim_(sim), gpu_(gpu) {}
   sim::Task<Bytes> ReclaimMemory(hw::GpuId, Bytes needed,
-                                 const std::string&) override {
+                                 std::string) override {
     ++calls;
     last_needed = needed;
     co_await sim_.Delay(sim::Seconds(2));  // simulated swap-out

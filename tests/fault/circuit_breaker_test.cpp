@@ -1,0 +1,96 @@
+#include "fault/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve::fault {
+namespace {
+
+using State = CircuitBreaker::State;
+
+TEST(CircuitBreakerTest, OpensAfterThresholdConsecutiveFailures) {
+  sim::Simulation sim;
+  CircuitBreaker breaker(sim, /*failure_threshold=*/3, sim::Seconds(10));
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  sim::Simulation sim;
+  CircuitBreaker breaker(sim, 3, sim::Seconds(10));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kClosed);  // streak broken at 2
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsExactlyOneProbe) {
+  sim::Simulation sim;
+  CircuitBreaker breaker(sim, 1, sim::Seconds(10));
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  sim.Schedule(sim::Seconds(5), [&] {
+    EXPECT_FALSE(breaker.AllowRequest());  // still cooling down
+  });
+  sim.Schedule(sim::Seconds(11), [&] {
+    EXPECT_TRUE(breaker.AllowRequest());  // the probe
+    EXPECT_EQ(breaker.state(), State::kHalfOpen);
+    EXPECT_FALSE(breaker.AllowRequest());  // probe in flight
+  });
+  sim.Run();
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesProbeFailureReopens) {
+  sim::Simulation sim;
+  CircuitBreaker breaker(sim, 1, sim::Seconds(1));
+  breaker.RecordFailure();
+  sim.Schedule(sim::Seconds(2), [&] {
+    ASSERT_TRUE(breaker.AllowRequest());
+    breaker.RecordFailure();  // probe failed
+    EXPECT_EQ(breaker.state(), State::kOpen);
+    EXPECT_EQ(breaker.trips(), 2u);
+  });
+  sim.Schedule(sim::Seconds(4), [&] {
+    ASSERT_TRUE(breaker.AllowRequest());
+    breaker.RecordSuccess();  // probe succeeded
+    EXPECT_EQ(breaker.state(), State::kClosed);
+    EXPECT_TRUE(breaker.AllowRequest());
+  });
+  sim.Run();
+}
+
+TEST(CircuitBreakerTest, ForceOpenRestartsTheCooldown) {
+  sim::Simulation sim;
+  CircuitBreaker breaker(sim, 3, sim::Seconds(10));
+  breaker.ForceOpen();
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.AllowRequest());
+  sim.Schedule(sim::Seconds(8), [&] {
+    breaker.ForceOpen();  // re-quarantined before the cooldown elapsed
+  });
+  sim.Schedule(sim::Seconds(12), [&] {
+    EXPECT_FALSE(breaker.AllowRequest());  // clock restarted at t=8
+  });
+  sim.Schedule(sim::Seconds(19), [&] {
+    EXPECT_TRUE(breaker.AllowRequest());
+  });
+  sim.Run();
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_EQ(CircuitStateName(State::kClosed), "closed");
+  EXPECT_EQ(CircuitStateName(State::kOpen), "open");
+  EXPECT_EQ(CircuitStateName(State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace swapserve::fault

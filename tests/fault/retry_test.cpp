@@ -1,0 +1,67 @@
+#include "fault/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace swapserve::fault {
+namespace {
+
+TEST(IsRetryableTest, TransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryable(Unavailable("link down")));
+  EXPECT_TRUE(IsRetryable(Aborted("lost race")));
+  EXPECT_TRUE(IsRetryable(ResourceExhausted("no memory")));
+  EXPECT_TRUE(IsRetryable(Internal("engine crashed")));
+}
+
+TEST(IsRetryableTest, PermanentCodesAreNot) {
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+  EXPECT_FALSE(IsRetryable(InvalidArgument("bad request")));
+  EXPECT_FALSE(IsRetryable(FailedPrecondition("not swapped out")));
+  EXPECT_FALSE(IsRetryable(DataLoss("checksum mismatch")));
+  EXPECT_FALSE(IsRetryable(NotFound("no such snapshot")));
+}
+
+TEST(RetryPolicyTest, ShouldRetryRespectsBudgetAndCode) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_TRUE(policy.ShouldRetry(Unavailable("x"), 1));
+  EXPECT_TRUE(policy.ShouldRetry(Unavailable("x"), 2));
+  EXPECT_FALSE(policy.ShouldRetry(Unavailable("x"), 3));
+  EXPECT_FALSE(policy.ShouldRetry(InvalidArgument("x"), 1));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsGeometricallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff = sim::Millis(100);
+  policy.multiplier = 2.0;
+  policy.max_backoff = sim::Millis(350);
+  policy.jitter = 0;  // exact values
+  sim::Rng rng(1);
+  EXPECT_EQ(policy.BackoffBefore(1, rng), sim::Millis(100));
+  EXPECT_EQ(policy.BackoffBefore(2, rng), sim::Millis(200));
+  EXPECT_EQ(policy.BackoffBefore(3, rng), sim::Millis(350));  // clamped
+  EXPECT_EQ(policy.BackoffBefore(4, rng), sim::Millis(350));
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  policy.initial_backoff = sim::Millis(100);
+  policy.jitter = 0.2;
+  sim::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const sim::SimDuration d = policy.BackoffBefore(1, rng);
+    EXPECT_GE(d, sim::Millis(80));
+    EXPECT_LE(d, sim::Millis(120));
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  sim::Rng a(5);
+  sim::Rng b(5);
+  for (int i = 1; i <= 8; ++i) {
+    EXPECT_EQ(policy.BackoffBefore(i, a), policy.BackoffBefore(i, b));
+  }
+}
+
+}  // namespace
+}  // namespace swapserve::fault

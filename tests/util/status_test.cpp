@@ -86,5 +86,35 @@ TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
   EXPECT_EQ(r.value_or(-1), 5);
 }
 
+TEST(StatusTest, ParseStatusCodeRoundTrips) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable,  StatusCode::kInternal,
+      StatusCode::kAborted,      StatusCode::kFailedPrecondition,
+      StatusCode::kDataLoss,     StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : codes) {
+    Result<StatusCode> parsed = ParseStatusCode(StatusCodeName(code));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_EQ(ParseStatusCode("NO_SUCH_CODE").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, DataLossHelper) {
+  Status s = DataLoss("checksum mismatch");
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(StatusTest, WarnIfErrorSwallowsWithoutCrashing) {
+  // SWAP_WARN_IF_ERROR logs and drops the status — both arms must compile
+  // and neither may terminate the process.
+  SWAP_WARN_IF_ERROR(Status::Ok(), "test");
+  SWAP_WARN_IF_ERROR(Internal("deliberately ignored"), "test");
+}
+
 }  // namespace
 }  // namespace swapserve
