@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build swaplint and sweep the production tree (src/ + tools/swaplint) plus
+# the fixture self-tests. Equivalent to `ctest -L lint` but buildable from
+# a clean checkout. Usage: scripts/check_lint.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake --preset default
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target swaplint lint_fixture_test
+
+ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure

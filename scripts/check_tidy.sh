@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the source tree using the
+# compile database from the default build. No-ops gracefully when
+# clang-tidy is not installed so the check can sit in every pipeline.
+# Usage: scripts/check_tidy.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "check_tidy: clang-tidy not installed; skipping (not a failure)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t FILES < <(find src tools/swaplint -name '*.cpp' | sort)
+echo "check_tidy: linting ${#FILES[@]} files with $TIDY"
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Build the ubsan preset (undefined-behavior sanitizer alone — catches UB
+# that the combined asan preset can mask, and builds faster) and run the
+# test suite under it. Debug build, so the lock-debug deadlock validator is
+# active too. Usage: scripts/check_ubsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset ubsan
+cmake --build build-ubsan -j "$(nproc)"
+
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)" "$@"

@@ -21,7 +21,7 @@ ColdStartServing::ColdStartServing(sim::Simulation& sim, hw::GpuDevice& gpu,
 void ColdStartServing::RegisterModel(model::ModelSpec model) {
   Slot slot;
   slot.model = model;
-  slot.starting = std::make_unique<sim::SimMutex>(sim_);
+  slot.starting = std::make_unique<sim::SimMutex>(sim_, "coldstart:" + model.id);
   slots_.emplace(model.id, std::move(slot));
 }
 
@@ -43,6 +43,7 @@ ColdStartServing::Slot* ColdStartServing::LruWarmExcept(
   return lru;
 }
 
+// swaplint-ok(coro-ref-param): slot borrows from slots_ (outlives frame)
 sim::Task<Status> ColdStartServing::Teardown(Slot& slot) {
   SWAP_CHECK(slot.engine != nullptr);
   Status s = co_await slot.engine->container()->Stop();
@@ -54,6 +55,7 @@ sim::Task<Status> ColdStartServing::Teardown(Slot& slot) {
   co_return Status::Ok();
 }
 
+// swaplint-ok(coro-ref-param): slot borrows from slots_ (outlives frame)
 sim::Task<Status> ColdStartServing::EnsureWarm(Slot& slot) {
   // Serialize concurrent cold starts per model.
   auto guard = co_await slot.starting->Acquire();
@@ -76,6 +78,11 @@ sim::Task<Status> ColdStartServing::EnsureWarm(Slot& slot) {
       co_return ResourceExhausted("no evictable engine to make room for " +
                                   slot.model.id);
     }
+    // Holding 'starting' here is the point: it serializes cold starts for
+    // this model while we evict. Teardown only touches the victim slot's
+    // engine and never acquires any 'starting' mutex, so no re-entry.
+    // swaplint-ok(guard-across-await): eviction is part of the serialized
+    // swaplint-ok(guard-across-await): cold-start critical section
     SWAP_CO_RETURN_IF_ERROR(co_await Teardown(*lru));
   }
 
@@ -113,7 +120,7 @@ sim::Task<> ColdStartServing::ReapIdle() {
 }
 
 sim::Task<core::ChatResult> ColdStartServing::Chat(
-    const std::string& model_id, std::int64_t prompt_tokens,
+    std::string model_id, std::int64_t prompt_tokens,
     std::int64_t max_tokens) {
   core::ChatResult result;
   auto it = slots_.find(model_id);

@@ -36,7 +36,7 @@ class ColdStartServing {
   // Models that may be requested (no resources allocated until first use).
   void RegisterModel(model::ModelSpec model);
 
-  sim::Task<core::ChatResult> Chat(const std::string& model_id,
+  sim::Task<core::ChatResult> Chat(std::string model_id,
                                    std::int64_t prompt_tokens,
                                    std::int64_t max_tokens);
 
@@ -57,7 +57,11 @@ class ColdStartServing {
     int instance = 0;  // engines are single-shot; each cold start is new
   };
 
+  // Slots live in slots_, owned by this object, which outlives every chat
+  // coroutine -- the borrow cannot dangle.
+  // swaplint-ok(coro-ref-param): slot borrows from slots_ (outlives frame)
   sim::Task<Status> EnsureWarm(Slot& slot);
+  // swaplint-ok(coro-ref-param): slot borrows from slots_ (outlives frame)
   sim::Task<Status> Teardown(Slot& slot);
   Slot* LruWarmExcept(const std::string& model_id);
 

@@ -40,7 +40,7 @@ engine::InferenceEngine* DedicatedServing::engine(
 }
 
 sim::Task<core::ChatResult> DedicatedServing::Chat(
-    const std::string& model_id, std::int64_t prompt_tokens,
+    std::string model_id, std::int64_t prompt_tokens,
     std::int64_t max_tokens) {
   core::ChatResult result;
   engine::InferenceEngine* eng = engine(model_id);

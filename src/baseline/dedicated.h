@@ -39,7 +39,7 @@ class DedicatedServing {
   // Cold-start every engine; they stay resident forever.
   sim::Task<Status> Initialize();
 
-  sim::Task<core::ChatResult> Chat(const std::string& model_id,
+  sim::Task<core::ChatResult> Chat(std::string model_id,
                                    std::int64_t prompt_tokens,
                                    std::int64_t max_tokens);
 

@@ -12,7 +12,7 @@ OllamaLruServing::OllamaLruServing(sim::Simulation& sim, hw::GpuDevice& gpu,
     : sim_(sim), gpu_(gpu), storage_(model_storage), runtime_(runtime) {}
 
 sim::Task<Status> OllamaLruServing::Initialize(
-    const std::vector<model::ModelSpec>& models) {
+    std::vector<model::ModelSpec> models) {
   for (const model::ModelSpec& m : models) {
     engine::EngineEnv env{
         .sim = &sim_,
@@ -24,7 +24,7 @@ sim::Task<Status> OllamaLruServing::Initialize(
     Runner runner;
     runner.engine = std::make_unique<engine::OllamaEngine>(
         env, m, engine::EngineOptions{}, "ollama-" + m.id);
-    runner.loading = std::make_unique<sim::SimMutex>(sim_);
+    runner.loading = std::make_unique<sim::SimMutex>(sim_, "ollama-load:" + m.id);
     Result<engine::InitBreakdown> init = co_await runner.engine->ColdStart();
     if (!init.ok()) co_return init.status();
     // Start cold: subsequent loads are pure on-demand loads.
@@ -50,8 +50,7 @@ OllamaLruServing::Runner* OllamaLruServing::LruLoadedExcept(
   return lru;
 }
 
-sim::Task<Status> OllamaLruServing::EnsureLoaded(
-    const std::string& model_id) {
+sim::Task<Status> OllamaLruServing::EnsureLoaded(std::string model_id) {
   auto it = runners_.find(model_id);
   if (it == runners_.end()) co_return NotFound("runner for " + model_id);
   Runner& runner = it->second;
@@ -67,20 +66,25 @@ sim::Task<Status> OllamaLruServing::EnsureLoaded(
       co_return ResourceExhausted("cannot fit " + model_id +
                                   ": no idle runner to unload");
     }
+    // Holding 'loading' across the eviction is the point: it serializes
+    // load attempts for this model. UnloadModel acts on a different runner
+    // and never touches any 'loading' mutex, so no re-entry.
+    // swaplint-ok(guard-across-await): eviction is part of the serialized
+    // swaplint-ok(guard-across-await): load critical section
     SWAP_CO_RETURN_IF_ERROR(co_await lru->engine->UnloadModel());
     ++evictions_;
   }
   co_return co_await runner.engine->LoadModel();
 }
 
-sim::Task<Status> OllamaLruServing::Unload(const std::string& model_id) {
+sim::Task<Status> OllamaLruServing::Unload(std::string model_id) {
   auto it = runners_.find(model_id);
   if (it == runners_.end()) co_return NotFound("runner for " + model_id);
   co_return co_await it->second.engine->UnloadModel();
 }
 
 sim::Task<Result<sim::SimDuration>> OllamaLruServing::MeasureLoad(
-    const std::string& model_id) {
+    std::string model_id) {
   SWAP_CO_RETURN_IF_ERROR(co_await Unload(model_id));
   const sim::SimTime t0 = sim_.Now();
   SWAP_CO_RETURN_IF_ERROR(co_await EnsureLoaded(model_id));
@@ -88,7 +92,7 @@ sim::Task<Result<sim::SimDuration>> OllamaLruServing::MeasureLoad(
 }
 
 sim::Task<core::ChatResult> OllamaLruServing::Chat(
-    const std::string& model_id, std::int64_t prompt_tokens,
+    std::string model_id, std::int64_t prompt_tokens,
     std::int64_t max_tokens) {
   core::ChatResult result;
   const double arrival = sim_.Now().ToSeconds();

@@ -34,20 +34,19 @@ class OllamaLruServing {
 
   // Spawn a runner for each model (server start + first load + unload, so
   // the measurement below is a pure on-demand load).
-  sim::Task<Status> Initialize(const std::vector<model::ModelSpec>& models);
+  sim::Task<Status> Initialize(std::vector<model::ModelSpec> models);
 
   // Load the model if absent (evicting LRU runners as needed) and serve.
-  sim::Task<core::ChatResult> Chat(const std::string& model_id,
+  sim::Task<core::ChatResult> Chat(std::string model_id,
                                    std::int64_t prompt_tokens,
                                    std::int64_t max_tokens);
 
   // Pure model-load latency measurement: ensures the model is unloaded,
   // then loads it and reports the elapsed time (Fig. 5's "Ollama" bars).
-  sim::Task<Result<sim::SimDuration>> MeasureLoad(
-      const std::string& model_id);
+  sim::Task<Result<sim::SimDuration>> MeasureLoad(std::string model_id);
 
-  sim::Task<Status> EnsureLoaded(const std::string& model_id);
-  sim::Task<Status> Unload(const std::string& model_id);
+  sim::Task<Status> EnsureLoaded(std::string model_id);
+  sim::Task<Status> Unload(std::string model_id);
   bool IsLoaded(const std::string& model_id) const;
 
   core::Metrics& metrics() { return metrics_; }

@@ -172,6 +172,7 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
   };
 }
 
+// swaplint-ok(coro-ref-param): container/process outlive the frame
 sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
     SnapshotId snapshot_id, container::Container& container,
     CudaCheckpointProcess& process, std::vector<hw::GpuDevice*> gpus,

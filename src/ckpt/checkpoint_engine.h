@@ -115,6 +115,9 @@ class CheckpointEngine {
   // guarantees this via reservations — or, with a pipeline, grants it
   // chunk-by-chunk through the acquire gate — but the engine still fails
   // loudly if the invariant is violated.
+  // container/process are owned by the task manager's ModelTask, which
+  // outlives the swap-in frame by construction.
+  // swaplint-ok(coro-ref-param): container/process outlive the frame
   sim::Task<Result<SwapInResult>> SwapIn(
       SnapshotId snapshot_id, container::Container& container,
       CudaCheckpointProcess& process, std::vector<hw::GpuDevice*> gpus,

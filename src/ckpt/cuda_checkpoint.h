@@ -41,9 +41,9 @@ class CudaCheckpointProcess {
   sim::Task<Status> Unlock();
   // locked -> checkpointed. The caller performs the actual D2H byte
   // movement (it owns the bandwidth model); this records the transition.
-  Status MarkCheckpointed();
+  [[nodiscard]] Status MarkCheckpointed();
   // checkpointed -> locked, after the caller finished H2D restore.
-  Status MarkRestored();
+  [[nodiscard]] Status MarkRestored();
 
   // The process died: whatever state the driver held is gone, and the
   // next process starts clean. Any state -> running.

@@ -48,15 +48,15 @@ class SnapshotStore {
   // Fails with RESOURCE_EXHAUSTED when dirty bytes exceed remaining budget.
   // Stamps the snapshot's checksum (a "snapshot.corrupt" fault rule flips
   // it, modelling silent host-RAM corruption detected only on restore).
-  Result<SnapshotId> Put(Snapshot snapshot);
-  Result<Snapshot> Get(SnapshotId id) const;
-  Status Drop(SnapshotId id);
+  [[nodiscard]] Result<SnapshotId> Put(Snapshot snapshot);
+  [[nodiscard]] Result<Snapshot> Get(SnapshotId id) const;
+  [[nodiscard]] Status Drop(SnapshotId id);
   // DATA_LOSS when the stored checksum no longer matches the content.
-  Status Verify(SnapshotId id) const;
+  [[nodiscard]] Status Verify(SnapshotId id) const;
   // Deliberately corrupt a stored snapshot (chaos/test hook).
-  Status Corrupt(SnapshotId id);
+  [[nodiscard]] Status Corrupt(SnapshotId id);
   // Latest snapshot for a backend, if any.
-  Result<Snapshot> FindByOwner(const std::string& owner) const;
+  [[nodiscard]] Result<Snapshot> FindByOwner(const std::string& owner) const;
 
   Bytes used() const { return used_; }
   Bytes budget() const { return budget_; }

@@ -11,7 +11,7 @@ Backend* AdminApi::Find(const std::string& model_id) const {
   return nullptr;
 }
 
-sim::Task<Status> AdminApi::SwapIn(const std::string& model_id) {
+sim::Task<Status> AdminApi::SwapIn(std::string model_id) {
   Backend* backend = Find(model_id);
   if (backend == nullptr) co_return NotFound("model " + model_id);
   Result<sim::SimRwLock::SharedGuard> pin =
@@ -21,7 +21,7 @@ sim::Task<Status> AdminApi::SwapIn(const std::string& model_id) {
   co_return Status::Ok();
 }
 
-sim::Task<Status> AdminApi::SwapOut(const std::string& model_id) {
+sim::Task<Status> AdminApi::SwapOut(std::string model_id) {
   Backend* backend = Find(model_id);
   if (backend == nullptr) co_return NotFound("model " + model_id);
   co_return co_await controller_.SwapOut(*backend, /*preemption=*/false);

@@ -32,9 +32,9 @@ class AdminApi {
         metrics_(metrics) {}
 
   // POST /admin/models/{name}/swap-in — resolve when resident.
-  sim::Task<Status> SwapIn(const std::string& model_id);
+  sim::Task<Status> SwapIn(std::string model_id);
   // POST /admin/models/{name}/swap-out — drains in-flight requests first.
-  sim::Task<Status> SwapOut(const std::string& model_id);
+  sim::Task<Status> SwapOut(std::string model_id);
 
   // GET /admin/status — backends, states, footprints, swap counters.
   // (Named SystemStatus to avoid shadowing the Status error type.)

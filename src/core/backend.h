@@ -57,7 +57,7 @@ struct Backend {
         engine(std::move(eng)),
         queue(std::make_unique<sim::Channel<QueuedRequest>>(sim,
                                                             queue_capacity)),
-        lock(sim),
+        lock(sim, "backend:" + config.model_id),
         swap_done(sim),
         health(sim) {}
 

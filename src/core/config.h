@@ -100,7 +100,8 @@ struct Config {
 
   // Cross-checks every entry against the catalog and the engine registry;
   // returns the first violation.
-  Status Validate(const model::ModelCatalog& catalog, int gpu_count) const;
+  [[nodiscard]] Status Validate(const model::ModelCatalog& catalog,
+                               int gpu_count) const;
 };
 
 }  // namespace swapserve::core

@@ -35,6 +35,7 @@ void EngineController::RegisterBackend(Backend* backend) {
   backends_.push_back(backend);
 }
 
+// swaplint-ok(coro-ref-param): backend outlives the frame (registered)
 sim::Task<Status> EngineController::SwapOut(Backend& backend,
                                             bool preemption) {
   // Write-lock: stops new forwarding and waits for in-flight requests.
@@ -96,6 +97,7 @@ sim::Task<Status> EngineController::SwapOut(Backend& backend,
   co_return Status::Ok();
 }
 
+// swaplint-ok(coro-ref-param): backend outlives the frame (registered)
 sim::Task<Status> EngineController::SwapIn(Backend& backend) {
   auto exclusive = co_await backend.lock.AcquireExclusive();
   if (backend.engine->state() == engine::BackendState::kRunning) {
@@ -135,6 +137,7 @@ sim::Task<Status> EngineController::SwapIn(Backend& backend) {
   co_return Status::Ok();
 }
 
+// swaplint-ok(coro-ref-param): backend outlives the frame (registered)
 sim::Task<Status> EngineController::ColdRestoreFallback(Backend& backend,
                                                         Status cause) {
   const sim::SimTime start = sim_.Now();
@@ -216,6 +219,7 @@ ckpt::SwapInPipeline EngineController::MakeGatedSwapInPipeline(
   return pipe;
 }
 
+// swaplint-ok(coro-ref-param): backend outlives the frame (registered)
 sim::Task<Status> EngineController::PipelinedSwapIn(Backend& backend) {
   if (!pipeline_.enabled) {
     co_return FailedPrecondition("pipelined swap is disabled");
@@ -265,6 +269,7 @@ sim::Task<Status> EngineController::PipelinedSwapIn(Backend& backend) {
   co_return Status::Ok();
 }
 
+// swaplint-ok(coro-ref-param): backend outlives the frame (registered)
 sim::Task<Result<SwapOverResult>> EngineController::SwapOver(Backend& out,
                                                              Backend& in) {
   if (!pipeline_.enabled) {

@@ -70,10 +70,14 @@ class EngineController final : public TaskManager::ReclaimDelegate {
   // backend's exclusive lock (drains in-flight requests), runs the
   // engine-specific pre-checkpoint optimization, checkpoints, and frees
   // GPU memory. `preemption` only affects accounting.
+  // Backends are registered for the lifetime of the system and outlive
+  // every swap coroutine, so the Backend& borrows below cannot dangle.
+  // swaplint-ok(coro-ref-param): backend outlives the frame (registered)
   sim::Task<Status> SwapOut(Backend& backend, bool preemption);
 
   // Restore a swapped-out backend. The caller (scheduler) must hold a
   // task-manager reservation covering backend.resident_bytes.
+  // swaplint-ok(coro-ref-param): backend outlives the frame (registered)
   sim::Task<Status> SwapIn(Backend& backend);
 
   // Restore a swapped-out backend chunk-by-chunk, reserving each chunk
@@ -83,6 +87,7 @@ class EngineController final : public TaskManager::ReclaimDelegate {
   // pipelining to be enabled. The caller must have set
   // backend.swap_in_progress before calling (as with SwapIn via the
   // scheduler) and clears it afterwards.
+  // swaplint-ok(coro-ref-param): backend outlives the frame (registered)
   sim::Task<Status> PipelinedSwapIn(Backend& backend);
 
   // Combined hot-swap: evict `out` and restore `in` with the eviction's
@@ -91,6 +96,7 @@ class EngineController final : public TaskManager::ReclaimDelegate {
   // the freed-bytes watermark covers its first chunk. Rolls back cleanly
   // when either side fails before the commit point. `out` must be running,
   // `in` swapped out with a snapshot. Requires pipelining to be enabled.
+  // swaplint-ok(coro-ref-param): backends outlive the frame (registered)
   sim::Task<Result<SwapOverResult>> SwapOver(Backend& out, Backend& in);
 
   void set_swap_pipeline(SwapPipelineConfig config) { pipeline_ = config; }
@@ -117,6 +123,7 @@ class EngineController final : public TaskManager::ReclaimDelegate {
   // host copy is unusable, so drop it and rebuild the backend from scratch
   // (weights reload) inside its container. Caller holds the exclusive lock
   // with the engine in kSwapping.
+  // swaplint-ok(coro-ref-param): backend outlives the frame (registered)
   sim::Task<Status> ColdRestoreFallback(Backend& backend, Status cause);
 
   // Pipelined swap-out body shared by SwapOut and SwapOver: announces the

@@ -81,6 +81,7 @@ sim::Task<int> EngineSupervisor::ScanOnce() {
   co_return actions;
 }
 
+// swaplint-ok(coro-ref-param): backend outlives the frame (registered)
 sim::Task<Status> EngineSupervisor::Recover(Backend& backend) {
   backend.health.state = BackendHealth::State::kRecovering;
   const sim::SimTime t0 = sim_.Now();

@@ -61,6 +61,7 @@ class EngineSupervisor {
   // retries. Success leaves it running and kDegraded (the first served
   // request re-promotes it); exhaustion quarantines it and returns the last
   // restart error.
+  // swaplint-ok(coro-ref-param): backend outlives the frame (registered)
   sim::Task<Status> Recover(Backend& backend);
 
   // Emit recovery/quarantine instants (nullable).

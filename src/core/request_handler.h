@@ -28,7 +28,7 @@ class RequestHandler {
   // Accept an already-validated request: returns the response channel the
   // caller streams from, or RESOURCE_EXHAUSTED when the backend queue is
   // full (HTTP 429 in the real system).
-  Result<ResponseChannelPtr> Accept(InferenceRequest request);
+  [[nodiscard]] Result<ResponseChannelPtr> Accept(InferenceRequest request);
 
   RequestId NextRequestId() { return next_request_id_++; }
   const GlobalConfig& global() const { return global_; }

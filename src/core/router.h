@@ -29,11 +29,11 @@ class OpenAiRouter {
   //   UNAUTHENTICATED is modelled as FAILED_PRECONDITION (HTTP 401)
   //   NOT_FOUND         - unknown model (HTTP 404)
   //   RESOURCE_EXHAUSTED- queue full (HTTP 429)
-  Result<ResponseChannelPtr> ChatCompletions(
+  [[nodiscard]] Result<ResponseChannelPtr> ChatCompletions(
       const std::string& body_json, const std::string& bearer_token = "");
 
   // Parsed+validated form, for callers that already have a request struct.
-  Result<ResponseChannelPtr> Submit(InferenceRequest request) {
+  [[nodiscard]] Result<ResponseChannelPtr> Submit(InferenceRequest request) {
     return handler_.Accept(std::move(request));
   }
 

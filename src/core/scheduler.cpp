@@ -6,8 +6,9 @@
 
 namespace swapserve::core {
 
-sim::Task<Result<sim::SimRwLock::SharedGuard>>
-Scheduler::EnsureRunningAndPin(Backend& backend) {
+// swaplint-ok(coro-ref-param): backend outlives the frame (registered)
+sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
+    Backend& backend) {
   // Supervisor-quarantined backends fast-fail: their restarts keep
   // failing, and probing is the supervisor's job, not request traffic's.
   if (backend.health.state == BackendHealth::State::kQuarantined) {

@@ -35,6 +35,7 @@ class Scheduler {
   // it. The caller serves its request under the returned guard and releases
   // it afterwards; swap operations take the exclusive side. Safe to call
   // concurrently: followers await the leader's in-flight swap-in.
+  // swaplint-ok(coro-ref-param): backend outlives the frame (registered)
   sim::Task<Result<sim::SimRwLock::SharedGuard>> EnsureRunningAndPin(
       Backend& backend);
 

@@ -235,7 +235,7 @@ sim::Task<ChatResult> SwapServe::CollectResponse(ResponseChannelPtr channel) {
   co_return result;
 }
 
-sim::Task<ChatResult> SwapServe::ChatAndWait(const std::string& model_id,
+sim::Task<ChatResult> SwapServe::ChatAndWait(std::string model_id,
                                              std::int64_t prompt_tokens,
                                              std::int64_t max_tokens) {
   InferenceRequest request;

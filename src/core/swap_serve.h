@@ -72,7 +72,7 @@ class SwapServe {
   AdminApi& admin() { return admin_; }
 
   // Convenience for examples/benches: submit and await the full response.
-  sim::Task<ChatResult> ChatAndWait(const std::string& model_id,
+  sim::Task<ChatResult> ChatAndWait(std::string model_id,
                                     std::int64_t prompt_tokens,
                                     std::int64_t max_tokens);
 

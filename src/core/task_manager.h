@@ -74,7 +74,7 @@ class TaskManager {
         std::exchange(manager_, nullptr)->ReleaseReservation(gpu_, bytes_);
       }
     }
-    bool active() const { return manager_ != nullptr; }
+    [[nodiscard]] bool active() const { return manager_ != nullptr; }
     Bytes bytes() const { return bytes_; }
 
    private:

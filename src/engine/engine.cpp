@@ -118,7 +118,7 @@ sim::Task<Result<InitBreakdown>> InferenceEngine::ColdStart() {
 }
 
 sim::Task<Result<GenerationResult>> InferenceEngine::Generate(
-    const GenerationRequest& req) {
+    GenerationRequest req) {
   if (state_ != BackendState::kRunning) {
     co_return Unavailable("backend " + name_ + " is " +
                           std::string(BackendStateName(state_)));

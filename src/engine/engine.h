@@ -116,7 +116,7 @@ class InferenceEngine {
   sim::Task<Result<InitBreakdown>> ColdStart();
 
   // Serve one request; valid while kRunning. Concurrent calls batch.
-  sim::Task<Result<GenerationResult>> Generate(const GenerationRequest& req);
+  sim::Task<Result<GenerationResult>> Generate(GenerationRequest req);
 
   // --- crash/recovery interface (driven by the supervisor) --------------
   // The engine process died (injected crash or declared-dead hang). Frees

@@ -21,8 +21,8 @@ class ModelCatalog {
   //   DeepSeek-Coder 6.7B.
   static ModelCatalog Default();
 
-  Status Add(ModelSpec spec);
-  Result<ModelSpec> Find(const std::string& id) const;
+  [[nodiscard]] Status Add(ModelSpec spec);
+  [[nodiscard]] Result<ModelSpec> Find(const std::string& id) const;
   bool Contains(const std::string& id) const { return models_.contains(id); }
   std::vector<ModelSpec> All() const;
   std::size_t size() const { return models_.size(); }

@@ -16,6 +16,7 @@
 
 namespace swapserve::sim {
 
+// swaplint-ok(coro-ref-param): the Simulation outlives every coroutine
 inline Task<> WhenAll(Simulation& sim, std::vector<Task<>> tasks) {
   if (tasks.empty()) co_return;
   SimEvent done(sim);
@@ -34,11 +35,13 @@ inline Task<> WhenAll(Simulation& sim, std::vector<Task<>> tasks) {
 
 // A Delay as a first-class task, for use with WhenAll (models a pipeline
 // stage that takes a fixed time, e.g. a DMA copy overlapped with a read).
+// swaplint-ok(coro-ref-param): the Simulation outlives every coroutine
 inline Task<> DelayFor(Simulation& sim, SimDuration d) {
   co_await sim.Delay(d);
 }
 
 // Two-task convenience overload.
+// swaplint-ok(coro-ref-param): the Simulation outlives every coroutine
 inline Task<> WhenAll(Simulation& sim, Task<> a, Task<> b) {
   std::vector<Task<>> tasks;
   tasks.push_back(std::move(a));

@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/lock_debug.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -66,6 +67,11 @@ class Simulation {
     Schedule(SimDuration(0), [h] { h.resume(); });
   }
 
+#if SWAPSERVE_LOCK_DEBUG
+  // Debug-build deadlock validator shared by this simulation's locks.
+  LockDebugRegistry& lock_debug() { return lock_debug_; }
+#endif
+
   // Convenience: spawn a detached process.
   void Go(Task<> task) { Spawn(std::move(task)); }
   template <typename F>
@@ -87,6 +93,9 @@ class Simulation {
     }
   };
 
+#if SWAPSERVE_LOCK_DEBUG
+  LockDebugRegistry lock_debug_;
+#endif
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

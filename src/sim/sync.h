@@ -12,6 +12,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <string_view>
 #include <utility>
 
 #include "sim/simulation.h"
@@ -20,9 +21,26 @@
 namespace swapserve::sim {
 
 // Mutual exclusion across suspension points. Non-recursive.
+//
+// `name` and `rank` feed the debug-build deadlock validator (lock_debug.h):
+// waits are cycle-checked against the waits-for graph, and ranked locks must
+// be acquired in increasing rank order within one coroutine frame. Release
+// builds discard both and keep the original layout and code paths.
 class SimMutex {
  public:
-  explicit SimMutex(Simulation& sim) : sim_(&sim) {}
+  explicit SimMutex(Simulation& sim, std::string_view name = "",
+                    int rank = kLockUnranked)
+      : sim_(&sim) {
+#if SWAPSERVE_LOCK_DEBUG
+    sim_->lock_debug().Register(this, "SimMutex", name, rank);
+#else
+    (void)name;
+    (void)rank;
+#endif
+  }
+#if SWAPSERVE_LOCK_DEBUG
+  ~SimMutex() { sim_->lock_debug().Unregister(this); }
+#endif
   SimMutex(const SimMutex&) = delete;
   SimMutex& operator=(const SimMutex&) = delete;
 
@@ -31,12 +49,24 @@ class SimMutex {
    public:
     Guard() = default;
     explicit Guard(SimMutex* m) : mutex_(m) {}
+#if SWAPSERVE_LOCK_DEBUG
+    Guard(SimMutex* m, const void* agent) : mutex_(m), agent_(agent) {}
+#endif
     Guard(Guard&& other) noexcept
-        : mutex_(std::exchange(other.mutex_, nullptr)) {}
+        : mutex_(std::exchange(other.mutex_, nullptr))
+#if SWAPSERVE_LOCK_DEBUG
+          ,
+          agent_(std::exchange(other.agent_, nullptr))
+#endif
+    {
+    }
     Guard& operator=(Guard&& other) noexcept {
       if (this != &other) {
         Release();
         mutex_ = std::exchange(other.mutex_, nullptr);
+#if SWAPSERVE_LOCK_DEBUG
+        agent_ = std::exchange(other.agent_, nullptr);
+#endif
       }
       return *this;
     }
@@ -44,15 +74,41 @@ class SimMutex {
 
     bool owns_lock() const { return mutex_ != nullptr; }
     void Release() {
-      if (mutex_ != nullptr) std::exchange(mutex_, nullptr)->Unlock();
+      if (mutex_ == nullptr) return;
+#if SWAPSERVE_LOCK_DEBUG
+      std::exchange(mutex_, nullptr)->Unlock(std::exchange(agent_, nullptr));
+#else
+      std::exchange(mutex_, nullptr)->Unlock();
+#endif
     }
 
    private:
     SimMutex* mutex_ = nullptr;
+#if SWAPSERVE_LOCK_DEBUG
+    const void* agent_ = nullptr;
+#endif
   };
 
   struct [[nodiscard]] Awaiter {
     SimMutex* mutex;
+#if SWAPSERVE_LOCK_DEBUG
+    // Always reach await_suspend so the coroutine frame is known; returning
+    // false there resumes immediately, matching the release fast path.
+    const void* agent = nullptr;
+    bool await_ready() { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      agent = h.address();
+      if (!mutex->locked_) {
+        mutex->locked_ = true;
+        mutex->sim_->lock_debug().OnAcquired(mutex, agent);
+        return false;
+      }
+      mutex->sim_->lock_debug().OnWait(mutex, agent);
+      mutex->waiters_.push_back(h);
+      return true;
+    }
+    Guard await_resume() { return Guard(mutex, agent); }
+#else
     bool await_ready() {
       if (!mutex->locked_) {
         mutex->locked_ = true;
@@ -64,6 +120,7 @@ class SimMutex {
       mutex->waiters_.push_back(h);
     }
     Guard await_resume() { return Guard(mutex); }
+#endif
   };
 
   // co_await mutex.Acquire() -> Guard
@@ -73,12 +130,34 @@ class SimMutex {
   bool TryAcquireNow(Guard& out) {
     if (locked_) return false;
     locked_ = true;
+#if SWAPSERVE_LOCK_DEBUG
+    // No coroutine handle here; register an opaque holder so the validator
+    // sees the lock as held without attributing it to a frame.
+    sim_->lock_debug().OnAcquired(this, nullptr);
+    out = Guard(this, nullptr);
+#else
     out = Guard(this);
+#endif
     return true;
   }
 
  private:
   friend struct Awaiter;
+#if SWAPSERVE_LOCK_DEBUG
+  void Unlock(const void* agent) {
+    SWAP_CHECK_MSG(locked_, "unlock of unlocked SimMutex");
+    sim_->lock_debug().OnReleased(this, agent);
+    if (!waiters_.empty()) {
+      // Ownership transfers to the first waiter; locked_ stays true.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->lock_debug().OnGranted(this, h.address());
+      sim_->Post(h);
+    } else {
+      locked_ = false;
+    }
+  }
+#else
   void Unlock() {
     SWAP_CHECK_MSG(locked_, "unlock of unlocked SimMutex");
     if (!waiters_.empty()) {
@@ -90,6 +169,7 @@ class SimMutex {
       locked_ = false;
     }
   }
+#endif
 
   Simulation* sim_;
   bool locked_ = false;
@@ -165,7 +245,19 @@ class SimSemaphore {
 // in-flight requests to drain.
 class SimRwLock {
  public:
-  explicit SimRwLock(Simulation& sim) : sim_(&sim) {}
+  explicit SimRwLock(Simulation& sim, std::string_view name = "",
+                     int rank = kLockUnranked)
+      : sim_(&sim) {
+#if SWAPSERVE_LOCK_DEBUG
+    sim_->lock_debug().Register(this, "SimRwLock", name, rank);
+#else
+    (void)name;
+    (void)rank;
+#endif
+  }
+#if SWAPSERVE_LOCK_DEBUG
+  ~SimRwLock() { sim_->lock_debug().Unregister(this); }
+#endif
   SimRwLock(const SimRwLock&) = delete;
   SimRwLock& operator=(const SimRwLock&) = delete;
 
@@ -173,50 +265,110 @@ class SimRwLock {
    public:
     SharedGuard() = default;
     explicit SharedGuard(SimRwLock* l) : lock_(l) {}
+#if SWAPSERVE_LOCK_DEBUG
+    SharedGuard(SimRwLock* l, const void* agent)
+        : lock_(l), agent_(agent) {}
+#endif
     SharedGuard(SharedGuard&& o) noexcept
-        : lock_(std::exchange(o.lock_, nullptr)) {}
+        : lock_(std::exchange(o.lock_, nullptr))
+#if SWAPSERVE_LOCK_DEBUG
+          ,
+          agent_(std::exchange(o.agent_, nullptr))
+#endif
+    {
+    }
     SharedGuard& operator=(SharedGuard&& o) noexcept {
       if (this != &o) {
         Release();
         lock_ = std::exchange(o.lock_, nullptr);
+#if SWAPSERVE_LOCK_DEBUG
+        agent_ = std::exchange(o.agent_, nullptr);
+#endif
       }
       return *this;
     }
     ~SharedGuard() { Release(); }
     void Release() {
-      if (lock_ != nullptr) std::exchange(lock_, nullptr)->UnlockShared();
+      if (lock_ == nullptr) return;
+#if SWAPSERVE_LOCK_DEBUG
+      std::exchange(lock_, nullptr)
+          ->UnlockShared(std::exchange(agent_, nullptr));
+#else
+      std::exchange(lock_, nullptr)->UnlockShared();
+#endif
     }
     bool owns_lock() const { return lock_ != nullptr; }
 
    private:
     SimRwLock* lock_ = nullptr;
+#if SWAPSERVE_LOCK_DEBUG
+    const void* agent_ = nullptr;
+#endif
   };
 
   class [[nodiscard]] ExclusiveGuard {
    public:
     ExclusiveGuard() = default;
     explicit ExclusiveGuard(SimRwLock* l) : lock_(l) {}
+#if SWAPSERVE_LOCK_DEBUG
+    ExclusiveGuard(SimRwLock* l, const void* agent)
+        : lock_(l), agent_(agent) {}
+#endif
     ExclusiveGuard(ExclusiveGuard&& o) noexcept
-        : lock_(std::exchange(o.lock_, nullptr)) {}
+        : lock_(std::exchange(o.lock_, nullptr))
+#if SWAPSERVE_LOCK_DEBUG
+          ,
+          agent_(std::exchange(o.agent_, nullptr))
+#endif
+    {
+    }
     ExclusiveGuard& operator=(ExclusiveGuard&& o) noexcept {
       if (this != &o) {
         Release();
         lock_ = std::exchange(o.lock_, nullptr);
+#if SWAPSERVE_LOCK_DEBUG
+        agent_ = std::exchange(o.agent_, nullptr);
+#endif
       }
       return *this;
     }
     ~ExclusiveGuard() { Release(); }
     void Release() {
-      if (lock_ != nullptr) std::exchange(lock_, nullptr)->UnlockExclusive();
+      if (lock_ == nullptr) return;
+#if SWAPSERVE_LOCK_DEBUG
+      std::exchange(lock_, nullptr)
+          ->UnlockExclusive(std::exchange(agent_, nullptr));
+#else
+      std::exchange(lock_, nullptr)->UnlockExclusive();
+#endif
     }
     bool owns_lock() const { return lock_ != nullptr; }
 
    private:
     SimRwLock* lock_ = nullptr;
+#if SWAPSERVE_LOCK_DEBUG
+    const void* agent_ = nullptr;
+#endif
   };
 
   struct [[nodiscard]] SharedAwaiter {
     SimRwLock* lock;
+#if SWAPSERVE_LOCK_DEBUG
+    const void* agent = nullptr;
+    bool await_ready() { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      agent = h.address();
+      if (!lock->writer_active_ && lock->waiters_.empty()) {
+        ++lock->readers_active_;
+        lock->sim_->lock_debug().OnAcquired(lock, agent);
+        return false;
+      }
+      lock->sim_->lock_debug().OnWait(lock, agent);
+      lock->waiters_.push_back({h, /*writer=*/false});
+      return true;
+    }
+    SharedGuard await_resume() { return SharedGuard(lock, agent); }
+#else
     bool await_ready() {
       if (!lock->writer_active_ && lock->waiters_.empty()) {
         ++lock->readers_active_;
@@ -228,10 +380,28 @@ class SimRwLock {
       lock->waiters_.push_back({h, /*writer=*/false});
     }
     SharedGuard await_resume() { return SharedGuard(lock); }
+#endif
   };
 
   struct [[nodiscard]] ExclusiveAwaiter {
     SimRwLock* lock;
+#if SWAPSERVE_LOCK_DEBUG
+    const void* agent = nullptr;
+    bool await_ready() { return false; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      agent = h.address();
+      if (!lock->writer_active_ && lock->readers_active_ == 0 &&
+          lock->waiters_.empty()) {
+        lock->writer_active_ = true;
+        lock->sim_->lock_debug().OnAcquired(lock, agent);
+        return false;
+      }
+      lock->sim_->lock_debug().OnWait(lock, agent);
+      lock->waiters_.push_back({h, /*writer=*/true});
+      return true;
+    }
+    ExclusiveGuard await_resume() { return ExclusiveGuard(lock, agent); }
+#else
     bool await_ready() {
       if (!lock->writer_active_ && lock->readers_active_ == 0 &&
           lock->waiters_.empty()) {
@@ -244,6 +414,7 @@ class SimRwLock {
       lock->waiters_.push_back({h, /*writer=*/true});
     }
     ExclusiveGuard await_resume() { return ExclusiveGuard(lock); }
+#endif
   };
 
   SharedAwaiter AcquireShared() { return SharedAwaiter{this}; }
@@ -261,6 +432,20 @@ class SimRwLock {
     bool writer;
   };
 
+#if SWAPSERVE_LOCK_DEBUG
+  void UnlockShared(const void* agent) {
+    SWAP_CHECK_MSG(readers_active_ > 0, "unlock-shared without readers");
+    sim_->lock_debug().OnReleased(this, agent);
+    --readers_active_;
+    Drain();
+  }
+  void UnlockExclusive(const void* agent) {
+    SWAP_CHECK_MSG(writer_active_, "unlock-exclusive without writer");
+    sim_->lock_debug().OnReleased(this, agent);
+    writer_active_ = false;
+    Drain();
+  }
+#else
   void UnlockShared() {
     SWAP_CHECK_MSG(readers_active_ > 0, "unlock-shared without readers");
     --readers_active_;
@@ -271,6 +456,7 @@ class SimRwLock {
     writer_active_ = false;
     Drain();
   }
+#endif
   void Drain() {
     // Strict FIFO: grant a leading writer alone, or a run of readers up to
     // the next queued writer.
@@ -279,12 +465,18 @@ class SimRwLock {
       if (front.writer) {
         if (writer_active_ || readers_active_ > 0) break;
         writer_active_ = true;
+#if SWAPSERVE_LOCK_DEBUG
+        sim_->lock_debug().OnGranted(this, front.handle.address());
+#endif
         sim_->Post(front.handle);
         waiters_.pop_front();
         break;
       }
       if (writer_active_) break;
       ++readers_active_;
+#if SWAPSERVE_LOCK_DEBUG
+      sim_->lock_debug().OnGranted(this, front.handle.address());
+#endif
       sim_->Post(front.handle);
       waiters_.pop_front();
     }

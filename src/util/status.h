@@ -45,13 +45,13 @@ class [[nodiscard]] Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -64,40 +64,40 @@ class [[nodiscard]] Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
 
-inline Status InvalidArgument(std::string msg) {
+[[nodiscard]] inline Status InvalidArgument(std::string msg) {
   return {StatusCode::kInvalidArgument, std::move(msg)};
 }
-inline Status NotFound(std::string msg) {
+[[nodiscard]] inline Status NotFound(std::string msg) {
   return {StatusCode::kNotFound, std::move(msg)};
 }
-inline Status AlreadyExists(std::string msg) {
+[[nodiscard]] inline Status AlreadyExists(std::string msg) {
   return {StatusCode::kAlreadyExists, std::move(msg)};
 }
-inline Status ResourceExhausted(std::string msg) {
+[[nodiscard]] inline Status ResourceExhausted(std::string msg) {
   return {StatusCode::kResourceExhausted, std::move(msg)};
 }
-inline Status FailedPrecondition(std::string msg) {
+[[nodiscard]] inline Status FailedPrecondition(std::string msg) {
   return {StatusCode::kFailedPrecondition, std::move(msg)};
 }
-inline Status Unavailable(std::string msg) {
+[[nodiscard]] inline Status Unavailable(std::string msg) {
   return {StatusCode::kUnavailable, std::move(msg)};
 }
-inline Status DeadlineExceeded(std::string msg) {
+[[nodiscard]] inline Status DeadlineExceeded(std::string msg) {
   return {StatusCode::kDeadlineExceeded, std::move(msg)};
 }
-inline Status Cancelled(std::string msg) {
+[[nodiscard]] inline Status Cancelled(std::string msg) {
   return {StatusCode::kCancelled, std::move(msg)};
 }
-inline Status Aborted(std::string msg) {
+[[nodiscard]] inline Status Aborted(std::string msg) {
   return {StatusCode::kAborted, std::move(msg)};
 }
-inline Status Internal(std::string msg) {
+[[nodiscard]] inline Status Internal(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
 }
-inline Status Unimplemented(std::string msg) {
+[[nodiscard]] inline Status Unimplemented(std::string msg) {
   return {StatusCode::kUnimplemented, std::move(msg)};
 }
-inline Status DataLoss(std::string msg) {
+[[nodiscard]] inline Status DataLoss(std::string msg) {
   return {StatusCode::kDataLoss, std::move(msg)};
 }
 
@@ -113,7 +113,7 @@ class [[nodiscard]] Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(value_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
   explicit operator bool() const { return ok(); }
 
   const T& value() const& {
@@ -134,12 +134,12 @@ class [[nodiscard]] Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(value_);
   }
 
-  T value_or(T fallback) const& {
+  [[nodiscard]] T value_or(T fallback) const& {
     return ok() ? std::get<T>(value_) : std::move(fallback);
   }
 
@@ -158,7 +158,7 @@ class [[nodiscard]] Result {
 // Inverse of StatusCodeName; accepts the canonical upper-snake names
 // ("RESOURCE_EXHAUSTED") case-insensitively. Used by config parsing so
 // fault plans can name the Status a fault point should fail with.
-Result<StatusCode> ParseStatusCode(std::string_view name);
+[[nodiscard]] Result<StatusCode> ParseStatusCode(std::string_view name);
 
 // Fatal assertion for invariants (programming errors, not runtime errors).
 [[noreturn]] void CheckFailed(std::string_view expr, std::string_view msg,

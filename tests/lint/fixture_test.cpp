@@ -1,0 +1,126 @@
+// swaplint fixture tests: every rule fires on its trigger fixture and
+// stays silent on the compliant twin; suppression annotations silence
+// exactly the named rule (DESIGN.md §10).
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace swaplint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(SWAPLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Diagnostic> LintFixture(const std::string& name) {
+  return LintSource(name, ReadFixture(name));
+}
+
+int CountRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string Render(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags) {
+    os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+       << "\n";
+  }
+  return os.str();
+}
+
+TEST(SwaplintFixtureTest, CoroRefParamFiresOnReferenceAndPointer) {
+  auto diags = LintFixture("coro_ref_param_bad.cc");
+  EXPECT_EQ(CountRule(diags, "coro-ref-param"), 2) << Render(diags);
+  EXPECT_EQ(diags.size(), 2u) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, CoroRefParamSilentOnValueAndAnnotatedBorrow) {
+  auto diags = LintFixture("coro_ref_param_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, UnawaitedTaskFiresOnDroppedCall) {
+  auto diags = LintFixture("unawaited_task_bad.cc");
+  EXPECT_EQ(CountRule(diags, "unawaited-task"), 1) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, UnawaitedTaskSilentOnAwaitAndSpawn) {
+  auto diags = LintFixture("unawaited_task_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, DiscardedStatusFiresOnDroppedResult) {
+  auto diags = LintFixture("discarded_status_bad.cc");
+  EXPECT_EQ(CountRule(diags, "discarded-status"), 1) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, DiscardedStatusSilentOnBindingAndVoidCast) {
+  auto diags = LintFixture("discarded_status_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, GuardAcrossAwaitFiresOnLiveGuard) {
+  auto diags = LintFixture("guard_across_await_bad.cc");
+  EXPECT_EQ(CountRule(diags, "guard-across-await"), 1) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, GuardAcrossAwaitSilentOnScopedReleasedExclusive) {
+  auto diags = LintFixture("guard_across_await_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, LockOrderFiresOnUnorderedPair) {
+  auto diags = LintFixture("lock_order_bad.cc");
+  EXPECT_EQ(CountRule(diags, "lock-order"), 1) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, LockOrderSilentWithNameOrderedSwap) {
+  auto diags = LintFixture("lock_order_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, AnnotationsSuppressTheNamedRule) {
+  auto diags = LintFixture("suppression.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, WrongRuleAnnotationDoesNotSuppress) {
+  auto diags = LintFixture("suppression_mismatch.cc");
+  EXPECT_EQ(CountRule(diags, "coro-ref-param"), 1) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, RuleListCoversAllFiveRules) {
+  const std::vector<RuleInfo>& rules = Rules();
+  ASSERT_EQ(rules.size(), 5u);
+  std::vector<std::string> names;
+  for (const RuleInfo& r : rules) names.emplace_back(r.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "coro-ref-param"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "unawaited-task"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "discarded-status"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "guard-across-await"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "lock-order"), names.end());
+}
+
+}  // namespace
+}  // namespace swaplint

@@ -1,0 +1,8 @@
+// Fixture: coro-ref-param must fire on reference and pointer parameters of
+// Task-returning coroutines. Never compiled; consumed by lint_fixture_test.
+namespace fixture {
+
+sim::Task<int> ReadCounter(Counter& counter);
+sim::Task<> Poke(Widget* widget);
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: compliant twin of coro_ref_param_bad.cc. By-value parameters
+// and an annotated borrow stay silent.
+namespace fixture {
+
+sim::Task<int> ReadCounter(Counter counter);
+
+// swaplint-ok(coro-ref-param): the registry outlives every coroutine frame
+sim::Task<> Poke(Registry& registry);
+
+}  // namespace fixture

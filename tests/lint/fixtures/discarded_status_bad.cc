@@ -1,0 +1,12 @@
+// Fixture: discarded-status must fire when a Status-returning call's
+// result is dropped on the floor.
+namespace fixture {
+
+Status Validate();
+
+sim::Task<> Runner() {
+  Validate();
+  co_return;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: compliant twin of discarded_status_bad.cc. Binding the result
+// or an explicit (void) cast consumes it.
+namespace fixture {
+
+Status Validate();
+
+sim::Task<> Runner() {
+  Status result = Validate();
+  if (!result.ok()) co_return;
+  (void)Validate();
+  co_return;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: guard-across-await must fire when a SimMutex guard is still
+// live at a later co_await.
+namespace fixture {
+
+sim::Task<> Hold(Cache cache) {
+  auto guard = co_await cache.mu.Acquire();
+  co_await cache.Refresh();
+}
+
+}  // namespace fixture

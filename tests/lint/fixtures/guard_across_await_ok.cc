@@ -1,0 +1,25 @@
+// Fixture: compliant twin of guard_across_await_bad.cc. Closing the scope
+// or releasing the guard before the await stays silent; rwlock guards are
+// exempt (being held across the swap is their purpose).
+namespace fixture {
+
+sim::Task<> ScopedHold(Cache cache) {
+  {
+    auto guard = co_await cache.mu.Acquire();
+    cache.Bump();
+  }
+  co_await cache.Refresh();
+}
+
+sim::Task<> ReleasedHold(Cache cache) {
+  auto guard = co_await cache.mu.Acquire();
+  guard.Release();
+  co_await cache.Refresh();
+}
+
+sim::Task<> ExclusiveHold(Cache cache) {
+  auto guard = co_await cache.rw.AcquireExclusive();
+  co_await cache.Refresh();
+}
+
+}  // namespace fixture

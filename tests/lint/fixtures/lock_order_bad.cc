@@ -1,0 +1,11 @@
+// Fixture: lock-order must fire when two different locks are held together
+// without the name-ordered acquisition idiom.
+namespace fixture {
+
+sim::Task<> Transfer(Pair pair) {
+  auto from = co_await pair.a.AcquireExclusive();
+  auto to = co_await pair.b.AcquireExclusive();
+  pair.Commit();
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: an annotation naming the wrong rule must NOT suppress the
+// diagnostic (annotations are per-rule, not blanket waivers).
+namespace fixture {
+
+// swaplint-ok(discarded-status): wrong rule name on purpose
+sim::Task<> Consume(Queue& queue);
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: unawaited-task must fire on a bare statement-level call to a
+// Task-returning function (lazy tasks never run when dropped).
+namespace fixture {
+
+sim::Task<> Background();
+
+sim::Task<> Caller() {
+  Background();
+  co_return;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: compliant twin of unawaited_task_bad.cc. co_await-ing the task
+// or handing it to Spawn() consumes it.
+namespace fixture {
+
+sim::Task<> Background();
+
+sim::Task<> Caller() {
+  co_await Background();
+  Spawn(Background());
+  co_return;
+}
+
+}  // namespace fixture

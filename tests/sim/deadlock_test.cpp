@@ -1,0 +1,169 @@
+// Debug-build deadlock validator tests (DESIGN.md §10).
+//
+// The validator only exists when SWAPSERVE_LOCK_DEBUG is 1 (non-NDEBUG
+// builds: the debug/asan/tsan/ubsan presets). The tier-1 RelWithDebInfo
+// build compiles it out entirely, so this file reduces to a single skipped
+// test there — which is itself the check that release builds carry none of
+// the machinery.
+
+#include "sim/lock_debug.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace swapserve::sim {
+namespace {
+
+#if SWAPSERVE_LOCK_DEBUG
+
+// Classic ABBA: each coroutine takes its first lock, yields, then goes for
+// the other one. The second wait closes the cycle. Runs to the default
+// violation handler, which prints the named chain and aborts — so the
+// constructions below only ever run inside a death-test child process
+// (where the leaked, forever-suspended frames don't matter).
+void RunAbbaDeadlock() {
+  Simulation sim;
+  SimMutex alpha(sim, "alpha");
+  SimMutex beta(sim, "beta");
+  auto locker = [&](SimMutex& first, SimMutex& second) -> Task<> {
+    auto a = co_await first.Acquire();
+    co_await sim.Delay(Seconds(1));
+    auto b = co_await second.Acquire();
+  };
+  Spawn(locker(alpha, beta));
+  Spawn(locker(beta, alpha));
+  sim.Run();
+}
+
+// Three-party cycle: A(alpha)->beta, B(beta)->gamma, C(gamma)->alpha. The
+// report must walk the whole chain, not just the immediate holder.
+void RunThreeLockCycle() {
+  Simulation sim;
+  SimMutex alpha(sim, "alpha");
+  SimMutex beta(sim, "beta");
+  SimMutex gamma(sim, "gamma");
+  auto locker = [&](SimMutex& first, SimMutex& second) -> Task<> {
+    auto a = co_await first.Acquire();
+    co_await sim.Delay(Seconds(1));
+    auto b = co_await second.Acquire();
+  };
+  Spawn(locker(alpha, beta));
+  Spawn(locker(beta, gamma));
+  Spawn(locker(gamma, alpha));
+  sim.Run();
+}
+
+#if GTEST_HAS_DEATH_TEST
+
+TEST(LockDebugTest, AbbaCycleAbortsWithNamedChain) {
+  EXPECT_DEATH(RunAbbaDeadlock(),
+               "deadlock detected.*SimMutex \"(alpha|beta)\".*"
+               "its holder waits on.*SimMutex.*can never be granted");
+}
+
+TEST(LockDebugTest, ThreeLockCycleReportsFullChain) {
+  // The chain reported from the last waiter names all three locks.
+  EXPECT_DEATH(RunThreeLockCycle(),
+               "deadlock detected(.|\n)*alpha(.|\n)*"
+               "(beta|gamma)(.|\n)*(beta|gamma)");
+}
+
+#endif  // GTEST_HAS_DEATH_TEST
+
+TEST(LockDebugTest, RankViolationReportsBothLocks) {
+  Simulation sim;
+  SimMutex low(sim, "table", /*rank=*/1);
+  SimMutex high(sim, "row", /*rank=*/2);
+  std::vector<std::string> reports;
+  sim.lock_debug().SetViolationHandler(
+      [&](const std::string& msg) { reports.push_back(msg); });
+
+  auto good = [&]() -> Task<> {
+    auto a = co_await low.Acquire();
+    auto b = co_await high.Acquire();
+  };
+  auto bad = [&]() -> Task<> {
+    auto a = co_await high.Acquire();
+    auto b = co_await low.Acquire();  // rank 1 after rank 2: violation
+  };
+  Spawn(good());
+  sim.Run();
+  EXPECT_EQ(sim.lock_debug().violations(), 0u);
+
+  Spawn(bad());
+  sim.Run();
+  EXPECT_EQ(sim.lock_debug().violations(), 1u);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("lock rank violation"), std::string::npos);
+  EXPECT_NE(reports[0].find("\"table\""), std::string::npos);
+  EXPECT_NE(reports[0].find("\"row\""), std::string::npos);
+}
+
+TEST(LockDebugTest, ContentionAndHandoffAreNotViolations) {
+  // Heavy contention over two locks taken in a consistent order is fine:
+  // waits-for edges form and clear via grant hand-off without ever closing
+  // a cycle, and no rank is configured.
+  Simulation sim;
+  SimMutex first(sim, "first");
+  SimMutex second(sim, "second");
+  sim.lock_debug().SetViolationHandler(
+      [](const std::string& msg) { FAIL() << "unexpected report: " << msg; });
+  int completed = 0;
+  auto worker = [&]() -> Task<> {
+    auto a = co_await first.Acquire();
+    co_await sim.Delay(Seconds(1));
+    auto b = co_await second.Acquire();
+    co_await sim.Delay(Seconds(1));
+    ++completed;
+  };
+  for (int i = 0; i < 5; ++i) Spawn(worker());
+  sim.Run();
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(sim.lock_debug().violations(), 0u);
+}
+
+TEST(LockDebugTest, RwLockSharedHoldersDoNotFalselyCycle) {
+  // Readers pile onto the rwlock while each also takes an unrelated mutex;
+  // no cycle, no report.
+  Simulation sim;
+  SimRwLock rw(sim, "state");
+  SimMutex mu(sim, "side");
+  sim.lock_debug().SetViolationHandler(
+      [](const std::string& msg) { FAIL() << "unexpected report: " << msg; });
+  int completed = 0;
+  auto reader = [&]() -> Task<> {
+    auto shared = co_await rw.AcquireShared();
+    auto guard = co_await mu.Acquire();
+    co_await sim.Delay(Seconds(1));
+    ++completed;
+  };
+  auto writer = [&]() -> Task<> {
+    auto exclusive = co_await rw.AcquireExclusive();
+    ++completed;
+  };
+  for (int i = 0; i < 3; ++i) Spawn(reader());
+  Spawn(writer());
+  sim.Run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(sim.lock_debug().violations(), 0u);
+}
+
+#else  // !SWAPSERVE_LOCK_DEBUG
+
+TEST(LockDebugTest, CompiledOutInReleaseBuilds) {
+  GTEST_SKIP() << "SWAPSERVE_LOCK_DEBUG is 0 (NDEBUG build): the deadlock "
+                  "validator is compiled out, which is the intended zero-"
+                  "overhead release configuration";
+}
+
+#endif  // SWAPSERVE_LOCK_DEBUG
+
+}  // namespace
+}  // namespace swapserve::sim

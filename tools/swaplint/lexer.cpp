@@ -1,0 +1,163 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace swaplint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Extract every "swaplint-ok(rule)" marker from a comment's text.
+void ScanAnnotations(std::string_view comment, int line,
+                     std::vector<Annotation>& out) {
+  static constexpr std::string_view kMarker = "swaplint-ok(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    pos += kMarker.size();
+    std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) break;
+    out.push_back({line, std::string(comment.substr(pos, close - pos))});
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(std::string_view src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t ahead) -> char {
+    return i + ahead < n ? src[i + ahead] : '\0';
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring continuations).
+    if (c == '#') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      ScanAnnotations(src.substr(i, end - i), line, out.annotations);
+      i = end;
+      continue;
+    }
+    // Block comment (annotations attach to the line the marker is on).
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      std::size_t line_start = i;
+      int cur = line;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') {
+          ScanAnnotations(src.substr(line_start, j - line_start), cur,
+                          out.annotations);
+          ++cur;
+          line_start = j + 1;
+        }
+        ++j;
+      }
+      std::size_t end = (j + 1 < n) ? j + 2 : n;
+      ScanAnnotations(src.substr(line_start, end - line_start), cur,
+                      out.annotations);
+      line = cur;
+      i = end;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d0 = i + 2;
+      std::size_t dend = d0;
+      while (dend < n && src[dend] != '(') ++dend;
+      std::string closer = ")" + std::string(src.substr(d0, dend - d0)) + "\"";
+      std::size_t end = src.find(closer, dend);
+      end = (end == std::string_view::npos) ? n : end + closer.size();
+      for (std::size_t j = i; j < end; ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      out.tokens.push_back({TokKind::kString, "", line});
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; stay sane
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kString, "", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, "", line});
+      i = j;
+      continue;
+    }
+    // Multi-char operators the rules rely on; everything else single-char.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    if (c == '&' && peek(1) == '&') {
+      out.tokens.push_back({TokKind::kPunct, "&&", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace swaplint

@@ -1,0 +1,46 @@
+// Minimal C++ lexer for swaplint.
+//
+// Produces a flat token stream with line numbers, plus the set of
+// `swaplint-ok(<rule>)` suppression annotations found in comments. This is
+// deliberately not a real C++ front end: swaplint's rules are pattern
+// matches over tokens (see lint.h), tuned to this codebase's idioms, so the
+// lexer only needs to be right about comments, string/char literals, raw
+// strings, preprocessor lines, and a handful of multi-character operators.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swaplint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (value unused)
+  kString,   // string/char literals, contents dropped
+  kPunct,    // single-char punctuation, plus "::", "->", "&&"
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+// A `swaplint-ok(<rule>)` marker found in a comment. An optional
+// ": reason" inside the parentheses' trailing comment text is ignored by
+// the matcher but encouraged for humans.
+struct Annotation {
+  int line = 0;       // line the marker appears on
+  std::string rule;   // rule name inside the parentheses
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;
+};
+
+LexedFile Lex(std::string_view source);
+
+}  // namespace swaplint

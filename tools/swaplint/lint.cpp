@@ -1,0 +1,469 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swaplint {
+namespace {
+
+const std::set<std::string, std::less<>> kStmtSkipLead = {
+    "if",     "for",   "while", "switch", "return", "co_return",
+    "co_await", "co_yield", "case", "do", "else", "goto", "delete", "new",
+};
+
+const std::set<std::string, std::less<>> kAcquireMethods = {
+    "Acquire", "AcquireShared", "AcquireExclusive"};
+
+bool IsTok(const std::vector<Token>& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].text == s;
+}
+
+// Index just past the matching closer for the opener at `i`.
+std::size_t SkipBalanced(const std::vector<Token>& t, std::size_t i,
+                         std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == open) ++depth;
+    else if (t[i].text == close && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+struct FnDecl {
+  std::string name;
+  bool returns_task = false;
+  std::size_t name_tok = 0;
+  std::size_t params_open = 0;   // index of '('
+  std::size_t params_close = 0;  // index of ')'
+  std::size_t body_open = 0;     // index of '{'; 0 when declaration-only
+  std::size_t body_close = 0;    // index of '}'
+};
+
+// Scan a token stream for Task<...>/Status/Result<...>-returning function
+// declarations and definitions. Pattern-based: a type token in return-type
+// position, a name, a parameter list, then `{`, `;`, or `= 0;`.
+std::vector<FnDecl> FindFunctions(const std::vector<Token>& t) {
+  std::vector<FnDecl> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& ty = t[i].text;
+    if (ty != "Task" && ty != "Status" && ty != "Result") continue;
+
+    // Reject member access (`x.Status`) including through a qualifier
+    // chain (`obj.sim::Task` cannot occur, but `.` directly before the
+    // chain head can).
+    std::size_t head = i;
+    while (head >= 2 && IsTok(t, head - 1, "::") &&
+           t[head - 2].kind == TokKind::kIdent) {
+      head -= 2;
+    }
+    if (head > 0 && (IsTok(t, head - 1, ".") || IsTok(t, head - 1, "->"))) {
+      continue;
+    }
+
+    std::size_t j = i + 1;
+    if (ty == "Task" || ty == "Result") {
+      if (!IsTok(t, j, "<")) continue;
+      j = SkipBalanced(t, j, "<", ">");
+    }
+    if (j >= t.size() || t[j].kind != TokKind::kIdent) continue;
+    if (t[j].text == "operator" || t[j].text == "const") continue;
+    // Accept qualified out-of-class definitions: Class::Method(...).
+    while (IsTok(t, j + 1, "::") && j + 2 < t.size() &&
+           t[j + 2].kind == TokKind::kIdent) {
+      j += 2;
+    }
+    std::size_t name_tok = j;
+    if (!IsTok(t, name_tok + 1, "(")) continue;
+    std::size_t params_open = name_tok + 1;
+    std::size_t params_close = SkipBalanced(t, params_open, "(", ")") - 1;
+    if (params_close >= t.size()) continue;
+
+    FnDecl fn;
+    fn.name = t[name_tok].text;
+    fn.returns_task = (ty == "Task");
+    fn.name_tok = name_tok;
+    fn.params_open = params_open;
+    fn.params_close = params_close;
+
+    // Trailing specifiers, then a body or a declaration terminator.
+    std::size_t k = params_close + 1;
+    while (k < t.size() &&
+           (IsTok(t, k, "const") || IsTok(t, k, "noexcept") ||
+            IsTok(t, k, "override") || IsTok(t, k, "final"))) {
+      ++k;
+    }
+    if (IsTok(t, k, "{")) {
+      fn.body_open = k;
+      fn.body_close = SkipBalanced(t, k, "{", "}") - 1;
+    } else if (!IsTok(t, k, ";") && !IsTok(t, k, "=")) {
+      continue;  // not a function after all (e.g. a cast or constructor)
+    }
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+// Names declared somewhere with a non-Task, non-Status return type.
+// swaplint matches call sites by name only, so a name that is also, e.g.,
+// `void Add(double)` must not fire discarded-status at `Add` call sites:
+// ambiguous names resolve to the weakest claim (no diagnostic).
+void CollectOtherReturns(const std::vector<Token>& t,
+                         std::set<std::string>& out) {
+  static const std::set<std::string, std::less<>> kNotATypePrefix = {
+      "return", "co_return", "co_await", "co_yield", "else",    "case",
+      "new",    "delete",    "throw",    "goto",     "operator", "explicit",
+      "using",  "typename",  "class",    "struct",   "enum",     "template",
+      "public", "private",   "protected", "friend",  "sizeof",   "if",
+      "while",  "for",       "switch",   "do",       "Task",     "Status",
+      "Result", "requires",  "concept",
+  };
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !IsTok(t, i + 1, "(")) continue;
+    const Token& prev = t[i - 1];
+    if (prev.kind != TokKind::kIdent) continue;
+    if (kNotATypePrefix.count(prev.text) > 0) continue;
+    if (i >= 2 && (IsTok(t, i - 2, ".") || IsTok(t, i - 2, "->"))) continue;
+    out.insert(t[i].text);
+  }
+}
+
+// One statement-level span inside a function body: [begin, end) where the
+// boundary at `end` is `;`, `{`, or `}` at parenthesis depth zero.
+struct Stmt {
+  std::size_t begin;
+  std::size_t end;
+};
+
+std::vector<Stmt> SplitStatements(const std::vector<Token>& t,
+                                  std::size_t body_open,
+                                  std::size_t body_close) {
+  std::vector<Stmt> out;
+  int paren = 0;
+  std::size_t start = body_open + 1;
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(") ++paren;
+    else if (x == ")") --paren;
+    else if ((x == ";" && paren == 0) || x == "{" || x == "}") {
+      if (i > start) out.push_back({start, i});
+      start = i + 1;
+      paren = 0;
+    }
+  }
+  if (body_close > start) out.push_back({start, body_close});
+  return out;
+}
+
+// A statement of the form `co_await <base>.<AcquireMethod>(...)` bound to a
+// guard variable (`auto g = co_await x.Acquire();`).
+struct LockAcquire {
+  std::size_t stmt_end = 0;    // token index just past the statement
+  std::size_t await_tok = 0;   // index of the co_await token
+  std::string guard;           // bound guard variable name
+  std::string base;            // textual lock expression ("backend.lock")
+  std::string method;          // Acquire / AcquireShared / AcquireExclusive
+  int line = 0;
+};
+
+bool ParseLockAcquire(const std::vector<Token>& t, const Stmt& s,
+                      LockAcquire& out) {
+  // Find `= co_await` inside the span.
+  for (std::size_t i = s.begin + 1; i + 1 < s.end; ++i) {
+    if (!IsTok(t, i, "=") || !IsTok(t, i + 1, "co_await")) continue;
+    if (i < 1 || t[i - 1].kind != TokKind::kIdent) return false;
+    // The awaited expression must end `. <method> ( ... )` at span end.
+    std::size_t dot = 0;
+    for (std::size_t j = i + 2; j + 2 < s.end; ++j) {
+      if ((IsTok(t, j, ".") || IsTok(t, j, "->")) &&
+          t[j + 1].kind == TokKind::kIdent &&
+          kAcquireMethods.count(t[j + 1].text) > 0 &&
+          IsTok(t, j + 2, "(")) {
+        dot = j;
+      }
+    }
+    if (dot == 0) return false;
+    if (SkipBalanced(t, dot + 2, "(", ")") != s.end) return false;
+    out.stmt_end = s.end + 1;
+    out.await_tok = i + 1;
+    out.guard = t[i - 1].text;
+    out.method = t[dot + 1].text;
+    out.line = t[i + 1].line;
+    std::string base;
+    for (std::size_t j = i + 2; j < dot; ++j) base += t[j].text;
+    out.base = base;
+    return true;
+  }
+  return false;
+}
+
+// Token index where the guard stops being held: an explicit
+// `guard.Release()`, a `move(guard)` transfer, or the close of the scope
+// enclosing the acquisition.
+std::size_t GuardLiveEnd(const std::vector<Token>& t, std::size_t from,
+                         std::size_t scope_close, const std::string& guard) {
+  for (std::size_t i = from; i < scope_close; ++i) {
+    if (t[i].text != guard) continue;
+    if ((IsTok(t, i + 1, ".") || IsTok(t, i + 1, "->")) &&
+        IsTok(t, i + 2, "Release")) {
+      return i;
+    }
+    if (i >= 2 && IsTok(t, i - 1, "(") && IsTok(t, i - 2, "move")) return i;
+  }
+  return scope_close;
+}
+
+// Close-brace index of the innermost scope containing token `pos`.
+std::size_t EnclosingScopeClose(const std::vector<Token>& t,
+                                std::size_t body_open, std::size_t body_close,
+                                std::size_t pos) {
+  std::vector<std::size_t> stack;
+  for (std::size_t i = body_open; i <= body_close && i < t.size(); ++i) {
+    if (i >= pos) break;
+    if (t[i].text == "{") stack.push_back(i);
+    else if (t[i].text == "}" && !stack.empty()) stack.pop_back();
+  }
+  if (stack.empty()) return body_close;
+  return SkipBalanced(t, stack.back(), "{", "}") - 1;
+}
+
+class RuleRunner {
+ public:
+  RuleRunner(const std::string& path, const LexedFile& file,
+             const std::set<std::string>& task_fns,
+             const std::set<std::string>& status_fns,
+             std::vector<Diagnostic>& out)
+      : path_(path),
+        toks_(file.tokens),
+        anns_(file.annotations),
+        task_fns_(task_fns),
+        status_fns_(status_fns),
+        out_(out) {}
+
+  void Run() {
+    std::vector<FnDecl> fns = FindFunctions(toks_);
+    for (const FnDecl& fn : fns) {
+      if (fn.returns_task) CheckRefParams(fn);
+      if (fn.body_open != 0) {
+        CheckStatements(fn);
+        if (fn.returns_task) CheckGuardsAndOrder(fn);
+      }
+    }
+  }
+
+ private:
+  void Emit(const std::string& rule, int line, std::string message,
+            std::initializer_list<int> extra_lines = {}) {
+    std::vector<int> lines{line};
+    lines.insert(lines.end(), extra_lines.begin(), extra_lines.end());
+    for (const Annotation& a : anns_) {
+      if (a.rule != rule) continue;
+      for (int l : lines) {
+        if (a.line == l || a.line == l - 1) return;
+      }
+    }
+    out_.push_back({path_, line, rule, std::move(message)});
+  }
+
+  // Rule: coro-ref-param.
+  void CheckRefParams(const FnDecl& fn) {
+    int angle = 0;
+    int paren = 0;
+    for (std::size_t i = fn.params_open + 1; i < fn.params_close; ++i) {
+      const std::string& x = toks_[i].text;
+      if (x == "<") ++angle;
+      else if (x == ">") angle = std::max(0, angle - 1);
+      else if (x == "(") ++paren;
+      else if (x == ")") paren = std::max(0, paren - 1);
+      else if ((x == "&" || x == "&&" || x == "*") && angle == 0 &&
+               paren == 0) {
+        Emit("coro-ref-param", toks_[i].line,
+             "coroutine '" + fn.name + "' takes a parameter by " +
+                 (x == "*" ? "pointer" : "reference") +
+                 "; the frame can outlive the caller (PR 3 UAF class) -- "
+                 "pass by value or annotate the borrow",
+             {toks_[fn.name_tok].line});
+      }
+    }
+  }
+
+  // Rules: unawaited-task, discarded-status.
+  void CheckStatements(const FnDecl& fn) {
+    for (const Stmt& s :
+         SplitStatements(toks_, fn.body_open, fn.body_close)) {
+      const Token& first = toks_[s.begin];
+      if (first.kind != TokKind::kIdent) continue;
+      if (kStmtSkipLead.count(first.text) > 0) continue;
+      // Walk an identifier chain: a (:: . ->)-separated member path.
+      std::size_t i = s.begin;
+      std::size_t last_ident = i;
+      while (i + 1 < s.end && t_is_sep(i + 1) &&
+             toks_[i + 2].kind == TokKind::kIdent) {
+        i += 2;
+        last_ident = i;
+      }
+      if (!IsTok(toks_, i + 1, "(")) continue;
+      if (SkipBalanced(toks_, i + 1, "(", ")") != s.end) continue;
+      const std::string& callee = toks_[last_ident].text;
+      if (task_fns_.count(callee) > 0) {
+        Emit("unawaited-task", first.line,
+             "result of Task-returning '" + callee +
+                 "' is neither co_await-ed nor Spawn-ed; lazy tasks never "
+                 "run when dropped");
+      } else if (status_fns_.count(callee) > 0) {
+        Emit("discarded-status", first.line,
+             "Status/Result of '" + callee +
+                 "' is dropped; consume it or cast to (void) with a reason");
+      }
+    }
+  }
+
+  // Rules: guard-across-await, lock-order.
+  void CheckGuardsAndOrder(const FnDecl& fn) {
+    std::vector<LockAcquire> acquires;
+    for (const Stmt& s :
+         SplitStatements(toks_, fn.body_open, fn.body_close)) {
+      LockAcquire acq;
+      if (ParseLockAcquire(toks_, s, acq)) acquires.push_back(acq);
+    }
+
+    std::vector<std::size_t> live_end(acquires.size());
+    for (std::size_t k = 0; k < acquires.size(); ++k) {
+      const LockAcquire& a = acquires[k];
+      std::size_t scope = EnclosingScopeClose(toks_, fn.body_open,
+                                              fn.body_close, a.await_tok);
+      live_end[k] = GuardLiveEnd(toks_, a.stmt_end, scope, a.guard);
+    }
+
+    // guard-across-await: a SimMutex guard live at a later co_await. Only
+    // plain Acquire() yields SimMutex::Guard; AcquireShared/Exclusive are
+    // the rwlock (whose whole point is being held across the swap).
+    for (std::size_t k = 0; k < acquires.size(); ++k) {
+      const LockAcquire& a = acquires[k];
+      if (a.method != "Acquire") continue;
+      for (std::size_t i = a.stmt_end; i < live_end[k]; ++i) {
+        if (!IsTok(toks_, i, "co_await")) continue;
+        Emit("guard-across-await", toks_[i].line,
+             "SimMutex guard '" + a.guard + "' (locked at line " +
+                 std::to_string(a.line) +
+                 ") is held across this co_await; the awaited operation "
+                 "can re-enter the guarded component and self-deadlock",
+             {a.line});
+        break;
+      }
+    }
+
+    // lock-order: two different locks held concurrently without the
+    // name-ordered acquisition idiom (SwapOver's swap-by-name).
+    for (std::size_t k = 0; k + 1 < acquires.size(); ++k) {
+      bool reported = false;
+      for (std::size_t m = k + 1; m < acquires.size() && !reported; ++m) {
+        const LockAcquire& a = acquires[k];
+        const LockAcquire& b = acquires[m];
+        if (a.base == b.base) continue;
+        if (b.await_tok >= live_end[k]) continue;  // a released first
+        if (HasOrderingMarker(fn, b.await_tok)) continue;
+        Emit("lock-order", b.line,
+             "locks '" + a.base + "' and '" + b.base +
+                 "' are held together without name-ordered acquisition "
+                 "(see EngineController::SwapOver); crossed callers can "
+                 "ABBA-deadlock",
+             {a.line});
+        reported = true;
+      }
+      if (reported) break;
+    }
+  }
+
+  bool t_is_sep(std::size_t i) const {
+    return IsTok(toks_, i, "::") || IsTok(toks_, i, ".") ||
+           IsTok(toks_, i, "->");
+  }
+
+  // The SwapOver idiom sorts/swaps lock operands by name before acquiring.
+  bool HasOrderingMarker(const FnDecl& fn, std::size_t before) const {
+    for (std::size_t i = fn.body_open; i < before; ++i) {
+      if (toks_[i].kind != TokKind::kIdent) continue;
+      if (toks_[i].text == "swap" || toks_[i].text == "sort" ||
+          toks_[i].text == "Sort") {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& toks_;
+  const std::vector<Annotation>& anns_;
+  const std::set<std::string>& task_fns_;
+  const std::set<std::string>& status_fns_;
+  std::vector<Diagnostic>& out_;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"coro-ref-param",
+       "no reference/pointer parameters on Task<>-returning coroutines"},
+      {"unawaited-task",
+       "every Task<> call is co_await-ed or passed to Spawn"},
+      {"discarded-status", "Status/Result results are consumed, not dropped"},
+      {"guard-across-await",
+       "SimMutex::Guard is not held across an unrelated co_await"},
+      {"lock-order",
+       "multi-lock acquisitions follow the name-ordered convention"},
+  };
+  return kRules;
+}
+
+void Linter::AddFile(std::string path, std::string_view content) {
+  files_.push_back({std::move(path), Lex(content)});
+}
+
+std::vector<Diagnostic> Linter::Run() {
+  // Pass 1: discover Task- and Status/Result-returning function names
+  // across the whole tree so call sites in other files resolve.
+  std::set<std::string> task_fns;
+  std::set<std::string> status_fns;
+  std::set<std::string> other_fns;
+  for (const FileData& f : files_) {
+    for (const FnDecl& fn : FindFunctions(f.lexed.tokens)) {
+      (fn.returns_task ? task_fns : status_fns).insert(fn.name);
+    }
+    CollectOtherReturns(f.lexed.tokens, other_fns);
+  }
+  // A name that is both (overloads across classes) counts as a task: the
+  // stricter diagnostic wins. Names that also resolve to some unrelated
+  // return type stay silent entirely.
+  for (const std::string& name : task_fns) status_fns.erase(name);
+  for (const std::string& name : other_fns) {
+    task_fns.erase(name);
+    status_fns.erase(name);
+  }
+
+  std::vector<Diagnostic> out;
+  for (const FileData& f : files_) {
+    RuleRunner(f.path, f.lexed, task_fns, status_fns, out).Run();
+  }
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> LintSource(std::string path,
+                                   std::string_view content) {
+  Linter linter;
+  linter.AddFile(std::move(path), content);
+  return linter.Run();
+}
+
+}  // namespace swaplint

@@ -1,0 +1,79 @@
+// swaplint — project-specific static analysis for the swap-serve codebase.
+//
+// Five rules, each derived from a real bug class in this repository (see
+// DESIGN.md §10 for the full rationale and the PR 3 use-after-free that
+// motivated the pass):
+//
+//   coro-ref-param      Reference/pointer parameters on Task<>-returning
+//                       coroutines. A coroutine frame outlives the call
+//                       expression; a reference parameter captured into a
+//                       Spawn()ed or suspended frame dangles once the
+//                       caller's frame unwinds (the PR 3 UAF).
+//   unawaited-task      A statement-level call to a Task<>-returning
+//                       function that is neither co_await-ed nor handed to
+//                       Spawn(). Tasks are lazy: such a call never runs.
+//   discarded-status    A statement-level call to a Status/Result-returning
+//                       function whose result is dropped on the floor.
+//                       `(void)call();` is treated as a deliberate discard.
+//   guard-across-await  A SimMutex::Guard obtained via `co_await
+//                       x.Acquire()` is still live at a later co_await.
+//                       The awaited operation can resume other coroutines
+//                       that re-enter the guarded component and self-block.
+//   lock-order          Two different locks acquired and held concurrently
+//                       in one coroutine without the name-ordered
+//                       acquisition idiom from EngineController::SwapOver
+//                       (ABBA deadlock; the runtime validator in
+//                       src/sim/lock_debug.h catches the dynamic residue).
+//
+// Suppression: a comment `// swaplint-ok(<rule>): <reason>` on the flagged
+// line, the line above it, or (for coro-ref-param) the line declaring the
+// function silences the rule at that site. Reasons are for reviewers; the
+// matcher ignores them.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace swaplint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+// All rules, in documentation order.
+const std::vector<RuleInfo>& Rules();
+
+class Linter {
+ public:
+  // Register a file. Pass 1 (coroutine / Status function discovery) runs
+  // on every added file before any rule fires, so add every file of the
+  // tree before calling Run().
+  void AddFile(std::string path, std::string_view content);
+
+  // Run all rules over every added file. Diagnostics are ordered by file,
+  // then line. Suppressed sites are dropped.
+  std::vector<Diagnostic> Run();
+
+ private:
+  struct FileData {
+    std::string path;
+    LexedFile lexed;
+  };
+  std::vector<FileData> files_;
+};
+
+// Convenience for tests: lint one in-memory file in isolation.
+std::vector<Diagnostic> LintSource(std::string path, std::string_view content);
+
+}  // namespace swaplint

@@ -1,0 +1,97 @@
+// swaplint CLI: lint files or directory trees and report violations.
+//
+//   swaplint [--list-rules] <file-or-dir>...
+//
+// Directories are walked recursively for .h/.cc/.cpp files. Exit status is
+// 0 when the tree is clean, 1 when any rule fired, 2 on usage/IO errors.
+// Run via `ctest -L lint` or scripts/check_lint.sh.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool ReadFile(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const swaplint::RuleInfo& rule : swaplint::Rules()) {
+        std::cout << rule.name << ": " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: swaplint [--list-rules] <file-or-dir>...\n";
+      return 0;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "swaplint: no inputs (try --help)\n";
+    return 2;
+  }
+
+  swaplint::Linter linter;
+  int files = 0;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry :
+           fs::recursive_directory_iterator(root, ec)) {
+        if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+        std::string content;
+        if (!ReadFile(entry.path(), content)) {
+          std::cerr << "swaplint: cannot read " << entry.path() << "\n";
+          return 2;
+        }
+        linter.AddFile(entry.path().generic_string(), content);
+        ++files;
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      std::string content;
+      if (!ReadFile(root, content)) {
+        std::cerr << "swaplint: cannot read " << root << "\n";
+        return 2;
+      }
+      linter.AddFile(root.generic_string(), content);
+      ++files;
+    } else {
+      std::cerr << "swaplint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<swaplint::Diagnostic> diags = linter.Run();
+  for (const swaplint::Diagnostic& d : diags) {
+    std::cerr << d.file << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  std::cerr << "swaplint: " << diags.size() << " issue(s) across " << files
+            << " file(s)\n";
+  return diags.empty() ? 0 : 1;
+}
