@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the golden-trace regression suite (`ctest -L golden`) under both the
+# default Release build and the asan preset: the golden stream must be
+# byte-identical across build modes, so a sanitizer-only divergence is a
+# determinism bug, not noise. CI-friendly: exits non-zero on any configure,
+# build, or test failure.
+#
+# To refresh the golden files after an intentional behavior change:
+#   SWAPSERVE_UPDATE_GOLDEN=1 scripts/check_golden.sh
+# then re-run without the env var and commit the rewritten
+# tests/golden/data/*.golden.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target golden_trace_test
+ctest --test-dir build -L golden --output-on-failure "$@"
+
+cmake --preset asan >/dev/null
+cmake --build build-asan -j "$(nproc)" --target golden_trace_test
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir build-asan -L golden --output-on-failure "$@"
+
+echo "golden: OK (default + asan)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "ckpt/snapshot_tier.h"
 #include "sim/combinators.h"
 #include "sim/sync.h"
 #include "util/log.h"
@@ -78,12 +79,24 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
   snap.created_at_s = sim_.Now().ToSeconds();
   snap.tp_degree = static_cast<int>(gpus.size());
   snap.restore = req.restore;
+  if (tier_ != nullptr) {
+    // A bounded host cache may have to spill cold snapshots to NVMe before
+    // this one fits; the admission holds the bytes until Put lands them.
+    Status admitted = co_await tier_->AdmitHostBytes(req.dirty_bytes);
+    if (!admitted.ok()) {
+      SWAP_WARN_IF_ERROR(co_await req.process->Unlock(), "ckpt");
+      SWAP_WARN_IF_ERROR(co_await req.container->Unpause(), "ckpt");
+      co_return admitted;
+    }
+  }
   Result<SnapshotId> put = store_.Put(std::move(snap));
   if (!put.ok()) {
+    if (tier_ != nullptr) tier_->CancelAdmission(req.dirty_bytes);
     SWAP_WARN_IF_ERROR(co_await req.process->Unlock(), "ckpt");
     SWAP_WARN_IF_ERROR(co_await req.container->Unpause(), "ckpt");
     co_return put.status();
   }
+  if (tier_ != nullptr) tier_->OnPut(*put);
   // Commit point: nothing below can fail.
   if (pipeline.on_staged) pipeline.on_staged();
 
@@ -193,6 +206,20 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
     if (f.stall.ns() > 0) co_await sim_.Delay(f.stall);
     if (!f.status.ok()) co_return f.status;
   }
+  // Stage the payload host-side before touching device memory: a demoted
+  // snapshot is promoted from NVMe (or streamed directly when promotion
+  // fails), then checksum-verified. On Ok the snapshot is pinned against
+  // demotion until it is consumed below or the restore fails.
+  if (tier_ != nullptr) {
+    Status staged = co_await tier_->EnsureRestorable(snapshot_id);
+    if (!staged.ok()) co_return staged;
+  }
+  // Unwind the tier pin on any post-staging failure so the snapshot is
+  // demotable again while the caller decides whether to retry.
+  auto fail = [&](Status status) {
+    if (tier_ != nullptr) tier_->Unpin(snapshot_id);
+    return status;
+  };
   const bool pipelined = pipeline.chunk_bytes.count() > 0;
   obs::Span swap_span =
       obs::StartSpan(obs_, "ckpt.swap_in", "ckpt", snap.owner);
@@ -221,7 +248,7 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
             snap.owner, Shard(total, gpus.size(), rank), "restored-state");
         if (!alloc.ok()) {
           for (auto& [dev, id] : allocs) SWAP_CHECK(dev->Free(id).ok());
-          co_return alloc.status();
+          co_return fail(alloc.status());
         }
         allocs.push_back({gpus[rank], *alloc});
       }
@@ -350,28 +377,32 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
       // Roll back every chunk allocation; the snapshot is retained and the
       // container/process stay checkpointed, so the caller can retry.
       for (auto& [dev, id] : allocs) SWAP_CHECK(dev->Free(id).ok());
-      co_return failure;
+      co_return fail(failure);
     }
   }
 
   Status s = process.MarkRestored();
-  if (!s.ok()) co_return s;
+  if (!s.ok()) co_return fail(s);
   {
     obs::Span phase = obs::StartSpan(obs_, "unlock", "ckpt", snap.owner);
     co_await sim_.Delay(snap.restore.fixed);
     s = co_await process.Unlock();
-    if (!s.ok()) co_return s;
+    if (!s.ok()) co_return fail(s);
   }
 
   // 3. Thaw the cgroup: CPU side resumes exactly where it stopped.
   {
     obs::Span phase = obs::StartSpan(obs_, "thaw", "ckpt", snap.owner);
     s = co_await container.Unpause();
-    if (!s.ok()) co_return s;
+    if (!s.ok()) co_return fail(s);
   }
 
-  // 4. Host staging buffers are released; the snapshot is consumed.
-  SWAP_CHECK(store_.Drop(snapshot_id).ok());
+  // 4. Host staging buffers are released; the snapshot is consumed. The
+  //    restore pin is released first: a concurrent prefetch promotion can
+  //    defer the entry's erasure to its mover, which only cleans up
+  //    pin-free entries.
+  if (tier_ != nullptr) tier_->Unpin(snapshot_id);
+  SWAP_CHECK(DropSnapshot(snapshot_id).ok());
 
   SWAP_LOG(kDebug, "ckpt") << "swap-in " << snap.owner << ": restored "
                            << total.ToString() << " across " << gpus.size()
@@ -384,6 +415,31 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
       .h2d_end = h2d_end,
       .stall = stall,
   };
+}
+
+Status CheckpointEngine::DropSnapshot(SnapshotId id) {
+  if (tier_ != nullptr) tier_->OnDrop(id);
+  return store_.Drop(id);
+}
+
+sim::SimDuration CheckpointEngine::EstimatedSwapInTime(SnapshotId id) const {
+  Result<Snapshot> snap = store_.Get(id);
+  if (!snap.ok()) return sim::SimDuration(0);
+  const std::size_t n =
+      static_cast<std::size_t>(std::max(snap->tp_degree, 1));
+  // Rank 0 absorbs the shard remainder, so its copy/remap are the longest;
+  // shards restore concurrently across the group.
+  sim::SimDuration est =
+      snap->restore.fixed +
+      sim::Seconds(
+          snap->restore.copy_bw.SecondsFor(Shard(snap->dirty_bytes, n, 0))) +
+      sim::Seconds(
+          snap->restore.remap_bw.SecondsFor(Shard(snap->clean_bytes, n, 0)));
+  // A demoted snapshot pays its NVMe promotion before the H2D copy can
+  // start; ignoring this term is exactly how swap-in estimates used to
+  // undershoot on cold snapshots.
+  if (tier_ != nullptr) est += tier_->EstimatedPromotionTime(id);
+  return est;
 }
 
 }  // namespace swapserve::ckpt

@@ -31,6 +31,8 @@
 
 namespace swapserve::ckpt {
 
+class SnapshotTierManager;
+
 struct SwapOutRequest {
   container::Container* container = nullptr;
   CudaCheckpointProcess* process = nullptr;
@@ -123,7 +125,20 @@ class CheckpointEngine {
       CudaCheckpointProcess& process, std::vector<hw::GpuDevice*> gpus,
       SwapInPipeline pipeline = {});
 
+  // Retire a snapshot, keeping the tier manager's placement ledger in sync
+  // (NVMe capacity release, deferred retire of mid-move entries). All drops
+  // — consumption at swap-in, cold-restore fallback, shutdown GC — must go
+  // through here, not SnapshotStore::Drop, once a tier manager is bound.
+  [[nodiscard]] Status DropSnapshot(SnapshotId id);
+
+  // Queue-aware wall-clock estimate for SwapIn(id): tier staging (the NVMe
+  // promotion a demoted snapshot must pay before its H2D copy can start) +
+  // dirty copy + clean remap + the fixed restore term. Shards restore in
+  // parallel, so the transfer terms are rank 0's (the largest shard).
+  sim::SimDuration EstimatedSwapInTime(SnapshotId id) const;
+
   SnapshotStore& store() { return store_; }
+  SnapshotTierManager* tier_manager() { return tier_; }
   std::uint64_t swap_out_count() const { return swap_outs_; }
   std::uint64_t swap_in_count() const { return swap_ins_; }
 
@@ -140,9 +155,15 @@ class CheckpointEngine {
     fault_ = injector;
   }
 
+  // Nullable. When bound, swap-outs admit their dirty bytes against the
+  // bounded host cache (demoting LRU victims) before Put, and swap-ins
+  // stage demoted snapshots back via EnsureRestorable before the H2D copy.
+  void BindTierManager(SnapshotTierManager* tier) { tier_ = tier; }
+
  private:
   obs::Observability* obs_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
+  SnapshotTierManager* tier_ = nullptr;
   sim::Simulation& sim_;
   SnapshotStore& store_;
   std::uint64_t swap_outs_ = 0;

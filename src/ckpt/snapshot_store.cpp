@@ -1,6 +1,16 @@
 #include "ckpt/snapshot_store.h"
 
+#include <algorithm>
+
 namespace swapserve::ckpt {
+
+std::string_view SnapshotTierName(SnapshotTier tier) {
+  switch (tier) {
+    case SnapshotTier::kHost: return "host";
+    case SnapshotTier::kNvme: return "nvme";
+  }
+  return "?";
+}
 
 std::uint64_t SnapshotChecksum(const Snapshot& snapshot) {
   std::uint64_t h = fault::StableHash(snapshot.owner);
@@ -26,8 +36,10 @@ Result<SnapshotId> SnapshotStore::Put(Snapshot snapshot) {
         " free");
   }
   snapshot.id = next_id_++;
+  snapshot.tier = SnapshotTier::kHost;
   snapshot.checksum = SnapshotChecksum(snapshot);
   used_ += snapshot.dirty_bytes;
+  peak_used_ = std::max(peak_used_, used_);
   const SnapshotId id = snapshot.id;
   const std::string owner = snapshot.owner;
   snapshots_.emplace(id, std::move(snapshot));
@@ -53,8 +65,51 @@ Status SnapshotStore::Drop(SnapshotId id) {
   if (it == snapshots_.end()) {
     return NotFound("snapshot " + std::to_string(id));
   }
-  used_ -= it->second.dirty_bytes;
+  if (it->second.tier == SnapshotTier::kNvme) {
+    nvme_used_ -= it->second.dirty_bytes;
+  } else {
+    used_ -= it->second.dirty_bytes;
+  }
   snapshots_.erase(it);
+  PublishGauges();
+  return Status::Ok();
+}
+
+Status SnapshotStore::MarkDemoted(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  if (it->second.tier == SnapshotTier::kNvme) {
+    return FailedPrecondition("snapshot " + std::to_string(id) +
+                              " already on nvme");
+  }
+  it->second.tier = SnapshotTier::kNvme;
+  used_ -= it->second.dirty_bytes;
+  nvme_used_ += it->second.dirty_bytes;
+  PublishGauges();
+  return Status::Ok();
+}
+
+Status SnapshotStore::MarkPromoted(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  if (it->second.tier == SnapshotTier::kHost) {
+    return FailedPrecondition("snapshot " + std::to_string(id) +
+                              " already host-resident");
+  }
+  if (used_ + it->second.dirty_bytes > budget_) {
+    return ResourceExhausted("snapshot store: promotion of " +
+                             std::to_string(id) + " needs " +
+                             it->second.dirty_bytes.ToString() + ", " +
+                             free().ToString() + " free");
+  }
+  it->second.tier = SnapshotTier::kHost;
+  nvme_used_ -= it->second.dirty_bytes;
+  used_ += it->second.dirty_bytes;
+  peak_used_ = std::max(peak_used_, used_);
   PublishGauges();
   return Status::Ok();
 }
@@ -106,6 +161,8 @@ void SnapshotStore::PublishGauges() const {
                 static_cast<double>(budget_.count()));
   obs::SetGauge(obs_, "swapserve_snapshot_store_count", {},
                 static_cast<double>(snapshots_.size()));
+  obs::SetGauge(obs_, "swapserve_snapshot_store_nvme_bytes", {},
+                static_cast<double>(nvme_used_.count()));
 }
 
 std::vector<Snapshot> SnapshotStore::All() const {

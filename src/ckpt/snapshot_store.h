@@ -23,6 +23,13 @@ namespace swapserve::ckpt {
 
 using SnapshotId = std::uint64_t;
 
+// Which storage tier holds a snapshot's dirty payload. Snapshots are born
+// host-resident (the D2H drain lands in host RAM); a bounded host cache
+// demotes cold ones to NVMe and promotes them back before restore.
+enum class SnapshotTier { kHost, kNvme };
+
+std::string_view SnapshotTierName(SnapshotTier tier);
+
 struct Snapshot {
   SnapshotId id = 0;
   std::string owner;        // backend name
@@ -30,6 +37,9 @@ struct Snapshot {
   Bytes dirty_bytes{0};     // bytes staged in host RAM
   double created_at_s = 0;  // virtual time of creation
   int tp_degree = 1;        // device-group size the state shards across
+  // Tier holding the dirty payload. Not part of the checksum: moving a
+  // snapshot between tiers does not alter its contents.
+  SnapshotTier tier = SnapshotTier::kHost;
   // Per-engine restore characteristics captured at checkpoint time.
   model::RestoreModel restore;
   // Integrity checksum over the snapshot metadata, computed at Put time.
@@ -58,9 +68,21 @@ class SnapshotStore {
   // Latest snapshot for a backend, if any.
   [[nodiscard]] Result<Snapshot> FindByOwner(const std::string& owner) const;
 
+  // Tier accounting transitions (the SnapshotTierManager drives these after
+  // the corresponding NVMe transfer completes; the store only moves the
+  // bytes between ledgers). MarkDemoted frees host RAM, MarkPromoted
+  // re-charges it — failing with RESOURCE_EXHAUSTED if the budget cannot
+  // take the payload back.
+  [[nodiscard]] Status MarkDemoted(SnapshotId id);
+  [[nodiscard]] Status MarkPromoted(SnapshotId id);
+
   Bytes used() const { return used_; }
   Bytes budget() const { return budget_; }
   Bytes free() const { return budget_ - used_; }
+  // Dirty bytes currently demoted to the NVMe tier.
+  Bytes nvme_used() const { return nvme_used_; }
+  // High-water mark of host-resident bytes (tier-cache invariant checks).
+  Bytes peak_used() const { return peak_used_; }
   std::size_t count() const { return snapshots_.size(); }
   std::vector<Snapshot> All() const;
 
@@ -76,6 +98,8 @@ class SnapshotStore {
   fault::FaultInjector* fault_ = nullptr;
   Bytes budget_;
   Bytes used_{0};
+  Bytes nvme_used_{0};
+  Bytes peak_used_{0};
   SnapshotId next_id_ = 1;
   std::map<SnapshotId, Snapshot> snapshots_;
 };

@@ -32,6 +32,10 @@ Result<Config> Config::FromJson(const json::Value& doc) {
         global->GetBool("pipelined_swap", cfg.global.pipelined_swap);
     cfg.global.swap_chunk_mib =
         global->GetDouble("swap_chunk_mib", cfg.global.swap_chunk_mib);
+    cfg.global.host_cache_mib =
+        global->GetDouble("host_cache_mib", cfg.global.host_cache_mib);
+    cfg.global.snapshot_prefetch =
+        global->GetBool("snapshot_prefetch", cfg.global.snapshot_prefetch);
   }
 
   if (const json::Value* fault = doc.Find("fault"); fault != nullptr) {
@@ -138,6 +142,13 @@ Status Config::Validate(const model::ModelCatalog& catalog,
   }
   if (global.swap_chunk_mib <= 0) {
     return InvalidArgument("config: swap_chunk_mib must be positive");
+  }
+  if (global.host_cache_mib < 0) {
+    return InvalidArgument("config: host_cache_mib must be >= 0");
+  }
+  if (global.host_cache_mib / 1024.0 > global.snapshot_budget_gib) {
+    return InvalidArgument(
+        "config: host_cache_mib exceeds snapshot_budget_gib");
   }
   for (const fault::FaultRule& r : fault.plan.rules) {
     if (r.probability < 0 || r.probability > 1) {

@@ -68,6 +68,17 @@ struct GlobalConfig {
   // paper's calibrated single-swap timings exactly.
   bool pipelined_swap = false;
   double swap_chunk_mib = 512.0;  // pipeline chunk size
+  // Bounded host-RAM snapshot cache in front of the NVMe tier. 0 (the
+  // default) keeps every snapshot host-resident — no tier manager is
+  // constructed, schedules are byte-identical to earlier builds. When set,
+  // cold snapshots spill to NVMe (LRU) and are promoted back before
+  // restore; must not exceed snapshot_budget_gib.
+  double host_cache_mib = 0.0;
+  // Demand-aware NVMe->host prefetch: promote a demoted snapshot as soon
+  // as a request arrives for its backend (background priority) and again,
+  // urgently, when its swap-in starts — overlapping the promotion with the
+  // victim's D2H eviction. Only meaningful with host_cache_mib > 0.
+  bool snapshot_prefetch = false;
 };
 
 // Per-model parameters ("model name, container image, GPU memory

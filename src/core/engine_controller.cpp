@@ -146,7 +146,7 @@ sim::Task<Status> EngineController::ColdRestoreFallback(Backend& backend,
       << " is corrupt; falling back to cold start: " << cause;
   obs::Instant(obs_, "cold_fallback:" + backend.name(), "controller",
                backend.name(), {{"cause", cause.message()}});
-  SWAP_WARN_IF_ERROR(ckpt_.store().Drop(backend.snapshot), "controller");
+  SWAP_WARN_IF_ERROR(ckpt_.DropSnapshot(backend.snapshot), "controller");
   backend.has_snapshot = false;
   backend.snapshot = 0;
   // The checkpointed process can never be resumed; declare it dead so the

@@ -94,6 +94,11 @@ void Metrics::RecordSwapOver(const std::string& out_model,
                {{"direction", "over"}, {"model", in_model}}, latency_s);
 }
 
+void Metrics::RecordPrefetch(const std::string& model) {
+  ++prefetches;
+  obs::IncCounter(obs_, "swapserve_prefetches_total", {{"model", model}});
+}
+
 void Metrics::RecordSwapRetry(const std::string& model) {
   ++swap_retries;
   obs::IncCounter(obs_, "swapserve_swap_retries_total", {{"model", model}});

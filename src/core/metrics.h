@@ -65,6 +65,10 @@ class Metrics {
                       const std::string& in_model, double latency_s,
                       double overlap_s);
 
+  // --- snapshot tier (from the prefetcher) -------------------------------
+  // A demand-triggered NVMe->host promotion was issued for `model`.
+  void RecordPrefetch(const std::string& model);
+
   // --- recovery outcomes (scheduler retries, worker requeues, supervisor
   // restarts, quarantine transitions) ------------------------------------
   void RecordSwapRetry(const std::string& model);
@@ -80,6 +84,7 @@ class Metrics {
   std::uint64_t swap_outs = 0;
   std::uint64_t preemptions = 0;  // swap-outs forced by memory pressure
   std::uint64_t swap_overs = 0;
+  std::uint64_t prefetches = 0;  // demand-triggered snapshot promotions
   Samples swap_in_latency_s;
   Samples swap_out_latency_s;
   Samples swap_over_latency_s;

@@ -42,6 +42,7 @@ Result<ResponseChannelPtr> RequestHandler::Accept(InferenceRequest request) {
   }
   obs::SetGauge(obs_, "swapserve_queue_depth", {{"model", request.model}},
                 static_cast<double>(backend->queue->size()));
+  if (arrival_hook_) arrival_hook_(*backend);
   SWAP_LOG(kDebug, "handler") << "accepted request " << request.id << " for "
                               << request.model;
   return channel;

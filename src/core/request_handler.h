@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -39,11 +40,19 @@ class RequestHandler {
   // Emit admission instants + per-model queue-depth gauges (nullable).
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
+  // Fired after a request is queued for a backend — the earliest demand
+  // signal, used to start promoting a demoted snapshot before the
+  // scheduler even looks at the backend.
+  void SetArrivalHook(std::function<void(Backend&)> hook) {
+    arrival_hook_ = std::move(hook);
+  }
+
  private:
   obs::Observability* obs_ = nullptr;
   sim::Simulation& sim_;
   GlobalConfig global_;
   Metrics& metrics_;
+  std::function<void(Backend&)> arrival_hook_;
   RequestId next_request_id_ = 1;
   std::map<std::string, Backend*> backends_;
 };

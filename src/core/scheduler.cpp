@@ -58,6 +58,10 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
           co_await backend.lock.AcquireShared();
       if (backend.engine->state() == engine::BackendState::kRunning) {
         record_success();
+        // The pin outlives this frame (returned to the caller); sever the
+        // debug validator's frame attribution so a new coroutine reusing
+        // this frame's address is not mistaken for the holder.
+        pin.DetachAgent();
         co_return pin;
       }
       pin.Release();
@@ -111,6 +115,10 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
 
     backend.swap_in_progress = true;
     backend.swap_done.Reset();
+    // Start staging the snapshot host-side now: by the time the restore's
+    // H2D copy needs the bytes, the NVMe promotion has been running for
+    // the whole reservation + eviction window.
+    if (prefetch_hook_) prefetch_hook_(backend);
 
     if (pipelined_) {
       // Chunk-gated restore: memory is reserved chunk-by-chunk as the
@@ -128,6 +136,7 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
           continue;
         }
         record_success();
+        pin.DetachAgent();  // escapes this frame
         co_return pin;
       }
       if (status.code() != StatusCode::kResourceExhausted) {
@@ -248,6 +257,7 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
       continue;
     }
     record_success();
+    pin.DetachAgent();  // escapes this frame
     co_return pin;
   }
 }

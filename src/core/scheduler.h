@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <functional>
+
 #include "core/backend.h"
 #include "core/engine_controller.h"
 #include "core/metrics.h"
@@ -59,6 +61,13 @@ class Scheduler {
   // Count retry attempts into the serving metrics (nullable).
   void BindMetrics(Metrics* metrics) { metrics_ = metrics; }
 
+  // Fired as each swap-in attempt starts, before GPU memory is reserved —
+  // the window in which an urgent NVMe->host snapshot promotion (storage
+  // link) can overlap the victim's D2H eviction drain (PCIe link).
+  void SetPrefetchHook(std::function<void(Backend&)> hook) {
+    prefetch_hook_ = std::move(hook);
+  }
+
  private:
   obs::Observability* obs_ = nullptr;
   Metrics* metrics_ = nullptr;
@@ -66,6 +75,7 @@ class Scheduler {
   TaskManager& task_manager_;
   EngineController& controller_;
   bool pipelined_ = false;
+  std::function<void(Backend&)> prefetch_hook_;
   fault::RetryPolicy retry_policy_;
   sim::Rng rng_{0x5eedu};
 };

@@ -1,0 +1,36 @@
+#include "core/snapshot_prefetcher.h"
+
+namespace swapserve::core {
+
+ckpt::SnapshotTierManager::VictimFilter SnapshotPrefetcher::DemandFilter(
+    const std::string& target) const {
+  // By-value captures: the filter outlives this call (it rides along with
+  // the detached promotion coroutine).
+  return [&backends = backends_, target](const std::string& owner) {
+    if (owner == target) return false;  // never self-evict
+    auto it = backends.find(owner);
+    // Unknown owners (snapshots outside the serving registry) are fair
+    // game; known ones only when nothing is queued or running for them.
+    return it == backends.end() || it->second->Demand() == 0;
+  };
+}
+
+void SnapshotPrefetcher::Trigger(Backend& backend,
+                                 hw::TransferPriority priority) {
+  if (!backend.has_snapshot) return;
+  const std::uint64_t before = tier_.prefetch_issued();
+  tier_.Prefetch(backend.snapshot, priority, DemandFilter(backend.name()));
+  if (tier_.prefetch_issued() > before) {
+    metrics_.RecordPrefetch(backend.name());
+  }
+}
+
+void SnapshotPrefetcher::NoteArrival(Backend& backend) {
+  Trigger(backend, hw::TransferPriority::kBackground);
+}
+
+void SnapshotPrefetcher::NoteSwapInStart(Backend& backend) {
+  Trigger(backend, hw::TransferPriority::kUrgent);
+}
+
+}  // namespace swapserve::core

@@ -123,6 +123,26 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
     backends_.push_back(std::move(backend));
   }
 
+  // Tiered snapshot store: only built when the host cache is bounded, so
+  // default configs run the exact pre-tier code path.
+  if (config_.global.host_cache_mib > 0) {
+    tier_manager_ = std::make_unique<ckpt::SnapshotTierManager>(
+        sim_, snapshot_store_, *hardware_.storage,
+        ckpt::SnapshotTierManager::Options{
+            .host_capacity = MiB(config_.global.host_cache_mib)});
+    tier_manager_->BindObservability(&obs_);
+    tier_manager_->BindFaultInjector(&fault_injector_);
+    ckpt_engine_.BindTierManager(tier_manager_.get());
+    if (config_.global.snapshot_prefetch) {
+      prefetcher_ = std::make_unique<SnapshotPrefetcher>(
+          *tier_manager_, handler_.backends(), metrics_);
+      handler_.SetArrivalHook(
+          [this](Backend& b) { prefetcher_->NoteArrival(b); });
+      scheduler_.SetPrefetchHook(
+          [this](Backend& b) { prefetcher_->NoteSwapInStart(b); });
+    }
+  }
+
   monitor_ = std::make_unique<hw::GpuMonitor>(
       sim_, hardware_.gpus, sim::Seconds(config_.global.monitor_interval_s));
   monitor_->BindObservability(&obs_);

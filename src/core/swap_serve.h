@@ -15,6 +15,7 @@
 
 #include "ckpt/checkpoint_engine.h"
 #include "ckpt/snapshot_store.h"
+#include "ckpt/snapshot_tier.h"
 #include "core/admin.h"
 #include "core/backend.h"
 #include "core/config.h"
@@ -26,6 +27,7 @@
 #include "core/request_handler.h"
 #include "core/router.h"
 #include "core/scheduler.h"
+#include "core/snapshot_prefetcher.h"
 #include "core/task_manager.h"
 #include "fault/fault_injector.h"
 #include "hw/gpu_device.h"
@@ -88,6 +90,10 @@ class SwapServe {
   EngineController& controller() { return controller_; }
   Scheduler& scheduler() { return scheduler_; }
   ckpt::SnapshotStore& snapshot_store() { return snapshot_store_; }
+  ckpt::CheckpointEngine& ckpt_engine() { return ckpt_engine_; }
+  // Null unless global.host_cache_mib > 0 (unbounded host cache needs no
+  // tier machinery — the default path stays byte-identical).
+  ckpt::SnapshotTierManager* tier_manager() { return tier_manager_.get(); }
   hw::GpuMonitor& monitor() { return *monitor_; }
   // The shared fault injector (armed only when config.fault has rules; an
   // unarmed injector perturbs nothing). Tests may Configure() it directly.
@@ -113,6 +119,8 @@ class SwapServe {
   RequestHandler handler_;
   OpenAiRouter router_;
   AdminApi admin_;
+  std::unique_ptr<ckpt::SnapshotTierManager> tier_manager_;  // see accessor
+  std::unique_ptr<SnapshotPrefetcher> prefetcher_;  // null unless prefetch on
   std::unique_ptr<hw::GpuMonitor> monitor_;
   std::unique_ptr<IdleReaper> idle_reaper_;  // null unless configured
   std::unique_ptr<EngineSupervisor> supervisor_;  // null unless configured

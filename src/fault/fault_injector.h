@@ -17,6 +17,14 @@
 //                    exercising the rollback path
 //   snapshot.corrupt the staged snapshot's checksum is flipped at Put;
 //                    detected by SnapshotStore::Verify on the next restore
+//   storage.promote  an NVMe->host snapshot promotion fails at start. A
+//                    DATA_LOSS-coded rule instead corrupts the promoted
+//                    copy (bit rot the firmware missed — caught by the
+//                    checksum, never served silently); any other code
+//                    aborts the promotion and the restore falls back to a
+//                    direct NVMe read
+//   storage.read     an NVMe payload read (promotion or direct restore)
+//                    fails before bytes move; retryable
 //   hw.acquire       device memory acquisition fails (fail-only: the
 //                    allocator is synchronous, stalls are ignored)
 //   hw.link          the link channel wedges before a transfer (stall-only:

@@ -93,6 +93,21 @@ void LockDebugRegistry::OnReleased(LockId lock, AgentId agent) {
   }
 }
 
+void LockDebugRegistry::Reattribute(LockId lock, AgentId agent) {
+  if (agent == nullptr) return;
+  auto it = locks_.find(lock);
+  if (it != locks_.end()) {
+    std::vector<AgentId>& holders = it->second.holders;
+    auto pos = std::find(holders.begin(), holders.end(), agent);
+    if (pos != holders.end()) *pos = nullptr;
+  }
+  auto held = held_by_.find(agent);
+  if (held != held_by_.end()) {
+    std::erase(held->second, lock);
+    if (held->second.empty()) held_by_.erase(held);
+  }
+}
+
 void LockDebugRegistry::OnWait(LockId lock, AgentId agent) {
   waiting_on_[agent] = lock;
   // Follow holder -> waits-on edges from `lock`. If any path reaches a lock

@@ -12,6 +12,13 @@
 //    co_await. A chain where a lock is taken in a parent coroutine and the
 //    conflicting wait happens in a callee coroutine is invisible here (the
 //    frames differ); swaplint's static lock-order rule covers that shape.
+//  - A guard that escapes its acquiring frame (returned to a caller) must
+//    sever the frame attribution with DetachAgent() before that frame
+//    dies: the allocator can hand the dead frame's address to a brand-new
+//    coroutine, and a wait by that coroutine would otherwise look like a
+//    self-deadlock on a lock "it" already holds. Detached holds stay
+//    visible (the lock still counts as held) but are opaque: they never
+//    rank-check and never extend waits-for chains.
 //  - Hierarchy ranks are validated on acquisition: acquiring a ranked lock
 //    while the same frame holds a lock of equal or higher rank is reported
 //    even when no cycle has formed yet.
@@ -76,6 +83,11 @@ class LockDebugRegistry {
   // waits-for chain.
   void OnAcquired(LockId lock, AgentId agent);
   void OnReleased(LockId lock, AgentId agent);
+
+  // Re-attribute one of `agent`'s holds on `lock` to the opaque null
+  // holder. Called (via Guard::DetachAgent) when a guard is about to
+  // outlive its acquiring coroutine frame, whose address may be reused.
+  void Reattribute(LockId lock, AgentId agent);
 
   // `agent` is about to suspend waiting for `lock`. Runs cycle detection
   // over the waits-for graph and reports the named chain if this wait can

@@ -81,6 +81,18 @@ class SimMutex {
       std::exchange(mutex_, nullptr)->Unlock();
 #endif
     }
+    // Must be called before the guard escapes (outlives) the coroutine
+    // frame that acquired it: the dead frame's address can be reused by a
+    // new coroutine, which the debug validator would then mistake for a
+    // holder waiting on its own lock. No-op in release builds.
+    void DetachAgent() {
+#if SWAPSERVE_LOCK_DEBUG
+      if (mutex_ != nullptr && agent_ != nullptr) {
+        mutex_->sim_->lock_debug().Reattribute(
+            mutex_, std::exchange(agent_, nullptr));
+      }
+#endif
+    }
 
    private:
     SimMutex* mutex_ = nullptr;
@@ -297,6 +309,16 @@ class SimRwLock {
       std::exchange(lock_, nullptr)->UnlockShared();
 #endif
     }
+    // See SimMutex::Guard::DetachAgent: required before the guard escapes
+    // its acquiring coroutine frame. No-op in release builds.
+    void DetachAgent() {
+#if SWAPSERVE_LOCK_DEBUG
+      if (lock_ != nullptr && agent_ != nullptr) {
+        lock_->sim_->lock_debug().Reattribute(
+            lock_, std::exchange(agent_, nullptr));
+      }
+#endif
+    }
     bool owns_lock() const { return lock_ != nullptr; }
 
    private:
@@ -340,6 +362,16 @@ class SimRwLock {
           ->UnlockExclusive(std::exchange(agent_, nullptr));
 #else
       std::exchange(lock_, nullptr)->UnlockExclusive();
+#endif
+    }
+    // See SimMutex::Guard::DetachAgent: required before the guard escapes
+    // its acquiring coroutine frame. No-op in release builds.
+    void DetachAgent() {
+#if SWAPSERVE_LOCK_DEBUG
+      if (lock_ != nullptr && agent_ != nullptr) {
+        lock_->sim_->lock_debug().Reattribute(
+            lock_, std::exchange(agent_, nullptr));
+      }
 #endif
     }
     bool owns_lock() const { return lock_ != nullptr; }

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "../core/fixture.h"
+#include "ckpt/snapshot_tier.h"
 #include "core/swap_serve.h"
 #include "fault/fault_injector.h"
 #include "sim/random.h"
@@ -52,6 +53,8 @@ fault::FaultPlan RandomPlan(sim::Rng& rng) {
       {"ckpt.swap_in", 0.15, true, 0},
       {"ckpt.chunk", 0.10, true, 0},
       {"snapshot.corrupt", 0.10, true, 0},
+      {"storage.promote", 0.15, true, 0},
+      {"storage.read", 0.10, true, 0},
       {"hw.acquire", 0.05, true, 0},
       {"hw.link", 0.10, false, 2.0},
       {"engine.crash", 0.06, true, 0},
@@ -94,6 +97,13 @@ ChaosOutcome RunChaosWorkload(std::uint64_t seed, int n_models,
   Config cfg = bed.MakeConfig(entries);
   cfg.global.queue_capacity = 16;
   cfg.fault.seed = seed;
+  // Odd seeds run with a bounded host cache + prefetch, so the storage
+  // fault points and tier eviction races see real chaos traffic; even
+  // seeds keep the legacy unbounded store.
+  if (seed % 2 == 1) {
+    cfg.global.host_cache_mib = 40.0 * 1024;
+    cfg.global.snapshot_prefetch = true;
+  }
   SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
 
   ChaosOutcome out;
@@ -189,6 +199,17 @@ ChaosOutcome RunChaosWorkload(std::uint64_t seed, int n_models,
     }
   }
 
+  // Tiered runs must also drain the tier ledgers: no committed admission
+  // bytes, in-flight NVMe moves, or restore pins may survive the run.
+  if (ckpt::SnapshotTierManager* tier = serve.tier_manager()) {
+    EXPECT_EQ(tier->committed(), Bytes(0))
+        << "leaked admission commitment (seed " << seed << ")";
+    EXPECT_EQ(tier->moves_in_flight(), 0)
+        << "tier move still in flight after drain (seed " << seed << ")";
+    EXPECT_EQ(tier->pinned_count(), 0u)
+        << "leaked restore pin (seed " << seed << ")";
+  }
+
   out.faults_injected = serve.fault_injector().total_fires();
   out.recoveries = m.recoveries;
   out.quarantines = m.quarantines;
@@ -274,6 +295,84 @@ TEST(ChaosDemoTest, FivePercentRestoreFailureCompletesAllRequests) {
   const double p99_faulty = run(0.05);
   EXPECT_LE(p99_faulty, 3.0 * p99_clean)
       << "unbounded tail latency under 5% restore failures";
+}
+
+// Tier-aware chaos: alternate two models whose snapshots cannot share the
+// bounded host cache, so every swap-in needs an NVMe promotion, with the
+// promotion path set to fail every time. The run must degrade to direct
+// NVMe reads — slower, but not a single lost request.
+TEST(ChaosTierTest, PromotionFailureDegradesToDirectReadsWithoutLoss) {
+  constexpr const char* kLargeA = "llama-3.3-70b-fp8";
+  constexpr const char* kLargeB = "deepseek-r1-14b-fp16";
+  TestBed bed;
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {kLargeA, "ollama"}, {kLargeB, "ollama"}};
+  Config cfg = bed.MakeConfig(entries);
+  cfg.fault.seed = 0xdecaf;
+  cfg.global.host_cache_mib = 80.0 * 1024;  // holds either snapshot, not both
+  cfg.global.snapshot_prefetch = true;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    fault::FaultRule rule;
+    rule.point = "storage.promote";
+    fault::FaultPlan plan;
+    plan.rules.push_back(std::move(rule));
+    serve.fault_injector().Configure(std::move(plan));
+    for (int i = 0; i < 12; ++i) {
+      ChatResult r = co_await serve.ChatAndWait(
+          i % 2 == 0 ? kLargeA : kLargeB, 256, 64);
+      EXPECT_TRUE(r.ok) << r.error;
+    }
+    serve.Shutdown();
+  });
+  ckpt::SnapshotTierManager* tier = serve.tier_manager();
+  ASSERT_NE(tier, nullptr);
+  EXPECT_EQ(serve.metrics().TotalFailed(), 0u);
+  EXPECT_GT(tier->demotions(), 0u);
+  EXPECT_GT(tier->promotion_failures(), 0u);
+  EXPECT_GT(tier->direct_reads(), 0u);
+  EXPECT_EQ(tier->promotions(), 0u);  // every promotion attempt was refused
+  EXPECT_EQ(tier->committed(), Bytes(0));
+  EXPECT_EQ(tier->pinned_count(), 0u);
+}
+
+// Corruption injected during promotion must surface as DATA_LOSS and drive
+// the engine's cold-restore fallback — never a silently served snapshot.
+TEST(ChaosTierTest, PromotionCorruptionIsDataLossNeverSilent) {
+  constexpr const char* kLargeA = "llama-3.3-70b-fp8";
+  constexpr const char* kLargeB = "deepseek-r1-14b-fp16";
+  TestBed bed;
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {kLargeA, "ollama"}, {kLargeB, "ollama"}};
+  Config cfg = bed.MakeConfig(entries);
+  cfg.fault.seed = 0xdecaf;
+  cfg.global.host_cache_mib = 80.0 * 1024;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    fault::FaultRule rule;
+    rule.point = "storage.promote";
+    rule.code = StatusCode::kDataLoss;
+    rule.max_fires = 2;  // corrupt the first promotions, then recover
+    fault::FaultPlan plan;
+    plan.rules.push_back(std::move(rule));
+    serve.fault_injector().Configure(std::move(plan));
+    for (int i = 0; i < 12; ++i) {
+      ChatResult r = co_await serve.ChatAndWait(
+          i % 2 == 0 ? kLargeA : kLargeB, 256, 64);
+      EXPECT_TRUE(r.ok) << r.error;
+    }
+    serve.Shutdown();
+  });
+  ckpt::SnapshotTierManager* tier = serve.tier_manager();
+  ASSERT_NE(tier, nullptr);
+  // The corrupted promotions were caught by the checksum and absorbed as
+  // cold-restore recoveries; nothing failed and nothing leaked.
+  EXPECT_EQ(serve.metrics().TotalFailed(), 0u);
+  EXPECT_GE(serve.metrics().recoveries, 1u);
+  EXPECT_EQ(tier->committed(), Bytes(0));
+  EXPECT_EQ(tier->pinned_count(), 0u);
 }
 
 }  // namespace

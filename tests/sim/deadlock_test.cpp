@@ -129,6 +129,71 @@ TEST(LockDebugTest, ContentionAndHandoffAreNotViolations) {
   EXPECT_EQ(sim.lock_debug().violations(), 0u);
 }
 
+TEST(LockDebugTest, ReattributeMakesEscapedHoldOpaque) {
+  // A guard that escapes its acquiring coroutine frame leaves a stale
+  // frame->lock attribution behind; if the allocator reuses that frame
+  // address for a new coroutine, its wait on the same lock would look like
+  // a self-deadlock. Reattribute (Guard::DetachAgent) moves the hold to
+  // the opaque null holder, which never extends waits-for chains.
+  Simulation sim;
+  int lock_tag = 0, agent_tag = 0;
+  const void* lock = &lock_tag;
+  const void* agent = &agent_tag;
+  std::vector<std::string> reports;
+  sim.lock_debug().SetViolationHandler(
+      [&](const std::string& msg) { reports.push_back(msg); });
+  sim.lock_debug().Register(lock, "SimRwLock", "backend:m", kLockUnranked);
+
+  // Without detaching: a wait by the (reused) holder frame is reported.
+  sim.lock_debug().OnAcquired(lock, agent);
+  sim.lock_debug().OnWait(lock, agent);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("deadlock detected"), std::string::npos);
+  sim.lock_debug().OnReleased(lock, agent);
+
+  // With Reattribute: the hold stays visible but opaque; no report.
+  sim.lock_debug().OnAcquired(lock, agent);
+  sim.lock_debug().Reattribute(lock, agent);
+  sim.lock_debug().OnWait(lock, agent);
+  EXPECT_EQ(reports.size(), 1u);
+  sim.lock_debug().OnReleased(lock, nullptr);  // release as the guard would
+  sim.lock_debug().Unregister(lock);
+}
+
+TEST(LockDebugTest, EscapedGuardWithDetachSurvivesFrameReuse) {
+  // Production shape (Scheduler::EnsureRunningAndPin): a coroutine
+  // acquires a shared pin, detaches, and returns the guard to its caller;
+  // identical coroutines spawned afterwards tend to reuse the dead frame's
+  // address. With DetachAgent no run may report a violation.
+  Simulation sim;
+  SimRwLock rw(sim, "backend:m");
+  sim.lock_debug().SetViolationHandler(
+      [](const std::string& msg) { FAIL() << "unexpected report: " << msg; });
+  SimRwLock::SharedGuard escaped;
+  auto pinner = [&]() -> Task<> {
+    SimRwLock::SharedGuard pin = co_await rw.AcquireShared();
+    pin.DetachAgent();
+    escaped = std::move(pin);
+  };
+  // A writer queues behind the escaped pin, then later identical frames
+  // wait behind the writer — the exact shape that misfired before.
+  auto writer = [&]() -> Task<> {
+    auto exclusive = co_await rw.AcquireExclusive();
+  };
+  int granted = 0;
+  auto reader = [&]() -> Task<> {
+    SimRwLock::SharedGuard pin = co_await rw.AcquireShared();
+    ++granted;
+  };
+  Spawn(pinner());
+  Spawn(writer());
+  for (int i = 0; i < 4; ++i) Spawn(reader());
+  escaped.Release();  // lets the writer, then the queued readers, through
+  sim.Run();
+  EXPECT_EQ(granted, 4);
+  EXPECT_EQ(sim.lock_debug().violations(), 0u);
+}
+
 TEST(LockDebugTest, RwLockSharedHoldersDoNotFalselyCycle) {
   // Readers pile onto the rwlock while each also takes an unrelated mutex;
   // no cycle, no report.
