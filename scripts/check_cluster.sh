@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the cluster subsystem's gates: the functional + chaos-property
+# cluster suites (`ctest -L cluster`) and the golden-trace suite (a
+# one-node fleet must stay byte-identical to the single-machine path),
+# under both the default Release build and the asan preset. CI-friendly:
+# exits non-zero on any configure, build, or test failure.
+#
+# The placement benchmark (locality vs random cold-start p99) is a bench
+# binary, not a test:
+#   cmake --build build --target bench_cluster_placement
+#   ./build/bench/bench_cluster_placement
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" \
+  --target cluster_test property_cluster_test golden_trace_test
+ctest --test-dir build -L "cluster|golden" --output-on-failure "$@"
+
+cmake --preset asan >/dev/null
+cmake --build build-asan -j "$(nproc)" \
+  --target cluster_test property_cluster_test golden_trace_test
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir build-asan -L "cluster|golden" --output-on-failure "$@"
+
+echo "cluster: OK (default + asan)"

@@ -193,6 +193,20 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
   SWAP_CHECK_MSG(!gpus.empty(), "swap-in needs at least one GPU");
   const sim::SimTime start = sim_.Now();
   SWAP_CO_ASSIGN_OR_RETURN(Snapshot snap, store_.Get(snapshot_id));
+  // A remote placeholder has no local payload yet: pull it over the fabric
+  // first. Fetch failures are retryable (the placeholder is retained);
+  // in-flight corruption lands as a flipped checksum and surfaces at the
+  // Verify below, riding the existing DATA_LOSS cold-fallback path.
+  if (snap.tier == SnapshotTier::kRemote) {
+    if (!remote_fetch_) {
+      co_return FailedPrecondition(
+          "swap-in " + snap.owner + ": snapshot " +
+          std::to_string(snapshot_id) +
+          " is remote and no fetch path is bound");
+    }
+    SWAP_CO_RETURN_IF_ERROR(co_await remote_fetch_(snapshot_id));
+    SWAP_CO_ASSIGN_OR_RETURN(snap, store_.Get(snapshot_id));
+  }
   // A corrupt snapshot surfaces here as DATA_LOSS: not retryable, the
   // caller must drop it and fall back to a cold start.
   SWAP_CO_RETURN_IF_ERROR(store_.Verify(snapshot_id));
@@ -439,6 +453,12 @@ sim::SimDuration CheckpointEngine::EstimatedSwapInTime(SnapshotId id) const {
   // start; ignoring this term is exactly how swap-in estimates used to
   // undershoot on cold snapshots.
   if (tier_ != nullptr) est += tier_->EstimatedPromotionTime(id);
+  // A remote placeholder additionally pays the cross-node fetch (source
+  // NVMe read, if demoted there, plus the fabric transfer) before any
+  // local staging can begin — the same undershoot, one tier further out.
+  if (snap->tier == SnapshotTier::kRemote && remote_estimate_) {
+    est += remote_estimate_(id);
+  }
   return est;
 }
 

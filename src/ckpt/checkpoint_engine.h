@@ -160,10 +160,24 @@ class CheckpointEngine {
   // stage demoted snapshots back via EnsureRestorable before the H2D copy.
   void BindTierManager(SnapshotTierManager* tier) { tier_ = tier; }
 
+  // Cluster seam. `fetch` resolves a kRemote placeholder by streaming the
+  // payload over the fabric (on success the snapshot is host-resident);
+  // `estimate` is its queue-aware cost, added to EstimatedSwapInTime so
+  // placement sees the true price of restoring off-node. Unbound (the
+  // single-node default), remote snapshots fail swap-in loudly.
+  using RemoteFetch = std::function<sim::Task<Status>(SnapshotId)>;
+  using RemoteEstimate = std::function<sim::SimDuration(SnapshotId)>;
+  void BindRemoteTier(RemoteFetch fetch, RemoteEstimate estimate) {
+    remote_fetch_ = std::move(fetch);
+    remote_estimate_ = std::move(estimate);
+  }
+
  private:
   obs::Observability* obs_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
   SnapshotTierManager* tier_ = nullptr;
+  RemoteFetch remote_fetch_;
+  RemoteEstimate remote_estimate_;
   sim::Simulation& sim_;
   SnapshotStore& store_;
   std::uint64_t swap_outs_ = 0;

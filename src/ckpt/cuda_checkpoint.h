@@ -44,6 +44,19 @@ class CudaCheckpointProcess {
   [[nodiscard]] Status MarkCheckpointed();
   // checkpointed -> locked, after the caller finished H2D restore.
   [[nodiscard]] Status MarkRestored();
+  // running -> checkpointed, instantly: a fresh process adopting a
+  // checkpoint image replicated from another node. The device state it
+  // will restore from lives in the snapshot store, not this process's
+  // history, so there is no lock/drain to pay.
+  [[nodiscard]] Status AdoptCheckpointed() {
+    if (state_ != CudaCheckpointState::kRunning) {
+      return FailedPrecondition(
+          "adopt: process " + owner_ + " is " +
+          std::string(CudaCheckpointStateName(state_)));
+    }
+    state_ = CudaCheckpointState::kCheckpointed;
+    return Status::Ok();
+  }
 
   // The process died: whatever state the driver held is gone, and the
   // next process starts clean. Any state -> running.

@@ -8,6 +8,7 @@ std::string_view SnapshotTierName(SnapshotTier tier) {
   switch (tier) {
     case SnapshotTier::kHost: return "host";
     case SnapshotTier::kNvme: return "nvme";
+    case SnapshotTier::kRemote: return "remote";
   }
   return "?";
 }
@@ -29,24 +30,33 @@ Result<SnapshotId> SnapshotStore::Put(Snapshot snapshot) {
   if (snapshot.dirty_bytes.count() < 0 || snapshot.clean_bytes.count() < 0) {
     return InvalidArgument("negative snapshot size");
   }
-  if (used_ + snapshot.dirty_bytes > budget_) {
-    return ResourceExhausted(
-        "snapshot store: " + snapshot.owner + " needs " +
-        snapshot.dirty_bytes.ToString() + " host RAM, " + free().ToString() +
-        " free");
+  const bool placeholder = snapshot.tier == SnapshotTier::kRemote;
+  if (!placeholder) {
+    if (used_ + snapshot.dirty_bytes > budget_) {
+      return ResourceExhausted(
+          "snapshot store: " + snapshot.owner + " needs " +
+          snapshot.dirty_bytes.ToString() + " host RAM, " +
+          free().ToString() + " free");
+    }
+    snapshot.tier = SnapshotTier::kHost;
   }
   snapshot.id = next_id_++;
-  snapshot.tier = SnapshotTier::kHost;
   snapshot.checksum = SnapshotChecksum(snapshot);
-  used_ += snapshot.dirty_bytes;
-  peak_used_ = std::max(peak_used_, used_);
+  if (placeholder) {
+    remote_bytes_ += snapshot.dirty_bytes;
+  } else {
+    used_ += snapshot.dirty_bytes;
+    peak_used_ = std::max(peak_used_, used_);
+  }
   const SnapshotId id = snapshot.id;
   const std::string owner = snapshot.owner;
   snapshots_.emplace(id, std::move(snapshot));
   PublishGauges();
   // Silent corruption at write time: the Put succeeds, the damage only
-  // surfaces when a restore verifies the checksum.
-  if (fault::Evaluate(fault_, "snapshot.corrupt", owner).fired()) {
+  // surfaces when a restore verifies the checksum. Remote placeholders
+  // carry no local payload, so the draw happens at fetch time instead.
+  if (!placeholder &&
+      fault::Evaluate(fault_, "snapshot.corrupt", owner).fired()) {
     SWAP_WARN_IF_ERROR(Corrupt(id), "snapshot_store");
   }
   return id;
@@ -65,10 +75,10 @@ Status SnapshotStore::Drop(SnapshotId id) {
   if (it == snapshots_.end()) {
     return NotFound("snapshot " + std::to_string(id));
   }
-  if (it->second.tier == SnapshotTier::kNvme) {
-    nvme_used_ -= it->second.dirty_bytes;
-  } else {
-    used_ -= it->second.dirty_bytes;
+  switch (it->second.tier) {
+    case SnapshotTier::kNvme: nvme_used_ -= it->second.dirty_bytes; break;
+    case SnapshotTier::kRemote: remote_bytes_ -= it->second.dirty_bytes; break;
+    case SnapshotTier::kHost: used_ -= it->second.dirty_bytes; break;
   }
   snapshots_.erase(it);
   PublishGauges();
@@ -80,9 +90,9 @@ Status SnapshotStore::MarkDemoted(SnapshotId id) {
   if (it == snapshots_.end()) {
     return NotFound("snapshot " + std::to_string(id));
   }
-  if (it->second.tier == SnapshotTier::kNvme) {
+  if (it->second.tier != SnapshotTier::kHost) {
     return FailedPrecondition("snapshot " + std::to_string(id) +
-                              " already on nvme");
+                              " is not host-resident");
   }
   it->second.tier = SnapshotTier::kNvme;
   used_ -= it->second.dirty_bytes;
@@ -96,9 +106,9 @@ Status SnapshotStore::MarkPromoted(SnapshotId id) {
   if (it == snapshots_.end()) {
     return NotFound("snapshot " + std::to_string(id));
   }
-  if (it->second.tier == SnapshotTier::kHost) {
+  if (it->second.tier != SnapshotTier::kNvme) {
     return FailedPrecondition("snapshot " + std::to_string(id) +
-                              " already host-resident");
+                              " is not nvme-resident");
   }
   if (used_ + it->second.dirty_bytes > budget_) {
     return ResourceExhausted("snapshot store: promotion of " +
@@ -108,6 +118,29 @@ Status SnapshotStore::MarkPromoted(SnapshotId id) {
   }
   it->second.tier = SnapshotTier::kHost;
   nvme_used_ -= it->second.dirty_bytes;
+  used_ += it->second.dirty_bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  PublishGauges();
+  return Status::Ok();
+}
+
+Status SnapshotStore::MarkFetched(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  if (it->second.tier != SnapshotTier::kRemote) {
+    return FailedPrecondition("snapshot " + std::to_string(id) +
+                              " is not a remote placeholder");
+  }
+  if (used_ + it->second.dirty_bytes > budget_) {
+    return ResourceExhausted("snapshot store: fetch of " +
+                             std::to_string(id) + " needs " +
+                             it->second.dirty_bytes.ToString() + ", " +
+                             free().ToString() + " free");
+  }
+  it->second.tier = SnapshotTier::kHost;
+  remote_bytes_ -= it->second.dirty_bytes;
   used_ += it->second.dirty_bytes;
   peak_used_ = std::max(peak_used_, used_);
   PublishGauges();
@@ -163,6 +196,8 @@ void SnapshotStore::PublishGauges() const {
                 static_cast<double>(snapshots_.size()));
   obs::SetGauge(obs_, "swapserve_snapshot_store_nvme_bytes", {},
                 static_cast<double>(nvme_used_.count()));
+  obs::SetGauge(obs_, "swapserve_snapshot_store_remote_bytes", {},
+                static_cast<double>(remote_bytes_.count()));
 }
 
 std::vector<Snapshot> SnapshotStore::All() const {

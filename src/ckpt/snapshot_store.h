@@ -25,8 +25,11 @@ using SnapshotId = std::uint64_t;
 
 // Which storage tier holds a snapshot's dirty payload. Snapshots are born
 // host-resident (the D2H drain lands in host RAM); a bounded host cache
-// demotes cold ones to NVMe and promotes them back before restore.
-enum class SnapshotTier { kHost, kNvme };
+// demotes cold ones to NVMe and promotes them back before restore. kRemote
+// marks a cluster placeholder: the metadata lives here but the payload
+// resides on another node and must be fetched over the fabric before the
+// snapshot is restorable.
+enum class SnapshotTier { kHost, kNvme, kRemote };
 
 std::string_view SnapshotTierName(SnapshotTier tier);
 
@@ -58,6 +61,9 @@ class SnapshotStore {
   // Fails with RESOURCE_EXHAUSTED when dirty bytes exceed remaining budget.
   // Stamps the snapshot's checksum (a "snapshot.corrupt" fault rule flips
   // it, modelling silent host-RAM corruption detected only on restore).
+  // A snapshot handed in with tier == kRemote is a cluster placeholder:
+  // only metadata is stored, no host RAM is charged, and no corruption
+  // fault is drawn (there is no local payload to rot).
   [[nodiscard]] Result<SnapshotId> Put(Snapshot snapshot);
   [[nodiscard]] Result<Snapshot> Get(SnapshotId id) const;
   [[nodiscard]] Status Drop(SnapshotId id);
@@ -75,12 +81,17 @@ class SnapshotStore {
   // take the payload back.
   [[nodiscard]] Status MarkDemoted(SnapshotId id);
   [[nodiscard]] Status MarkPromoted(SnapshotId id);
+  // A remote placeholder whose payload just landed over the fabric becomes
+  // host-resident; charges the host budget like MarkPromoted.
+  [[nodiscard]] Status MarkFetched(SnapshotId id);
 
   Bytes used() const { return used_; }
   Bytes budget() const { return budget_; }
   Bytes free() const { return budget_ - used_; }
   // Dirty bytes currently demoted to the NVMe tier.
   Bytes nvme_used() const { return nvme_used_; }
+  // Dirty bytes of remote placeholders (payload lives on another node).
+  Bytes remote_bytes() const { return remote_bytes_; }
   // High-water mark of host-resident bytes (tier-cache invariant checks).
   Bytes peak_used() const { return peak_used_; }
   std::size_t count() const { return snapshots_.size(); }
@@ -99,6 +110,7 @@ class SnapshotStore {
   Bytes budget_;
   Bytes used_{0};
   Bytes nvme_used_{0};
+  Bytes remote_bytes_{0};
   Bytes peak_used_{0};
   SnapshotId next_id_ = 1;
   std::map<SnapshotId, Snapshot> snapshots_;

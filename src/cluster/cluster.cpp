@@ -1,0 +1,331 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/fault_injector.h"
+#include "obs/observability.h"
+#include "sim/sync.h"
+#include "util/log.h"
+
+namespace swapserve::cluster {
+
+ClusterServe::ClusterServe(sim::Simulation& sim, core::Config config,
+                           const model::ModelCatalog& catalog,
+                           core::SwapServeOptions options)
+    : sim_(sim), config_(std::move(config)) {
+  const int n = config_.cluster.nodes;
+  for (int id = 0; id < n; ++id) {
+    const int gpu_count = config_.NodeGpuCount(id);
+    core::Config node_config;
+    node_config.global = config_.global;
+    node_config.recovery = config_.recovery;
+    node_config.fault.plan = config_.fault.plan;
+    // Each node gets its own deterministic fault stream; the single-node
+    // seed stays underived so existing chaos runs replay unchanged.
+    node_config.fault.seed =
+        n == 1 ? config_.fault.seed
+               : fault::StableHashCombine(
+                     config_.fault.seed,
+                     fault::StableHash("node" + std::to_string(id)));
+    for (const core::ModelEntry& m : config_.models) {
+      if (m.node == id) {
+        // Within a node's own config the home-node field is meaningless
+        // (and would fail the node's single-machine validation).
+        core::ModelEntry home = m;
+        home.node = 0;
+        node_config.models.push_back(std::move(home));
+      } else if (n > 1 && m.gpu + m.tp <= gpu_count) {
+        // Standby replica: adopts a replicated checkpoint at Initialize
+        // instead of cold-starting (skipped where the model cannot fit).
+        core::ModelEntry standby = m;
+        standby.node = 0;
+        standby.standby = true;
+        node_config.models.push_back(std::move(standby));
+      }
+    }
+    nodes_.push_back(std::make_unique<Node>(
+        sim_, id, gpu_count, std::move(node_config), catalog, options));
+    node_ptrs_.push_back(nodes_.back().get());
+  }
+  if (n > 1) {
+    fabric_ = std::make_unique<Fabric>(sim_, n, config_.cluster.fabric_gbps,
+                                       config_.cluster.fabric_latency_us);
+    replicator_ =
+        std::make_unique<SnapshotReplicator>(sim_, node_ptrs_, *fabric_);
+    const PlacementMode mode = config_.cluster.placement == "random"
+                                   ? PlacementMode::kRandom
+                                   : PlacementMode::kLocalityAware;
+    placement_ = std::make_unique<PlacementPolicy>(
+        mode, fault::StableHashCombine(config_.fault.seed,
+                                       fault::StableHash("placement")));
+    for (auto& node : nodes_) {
+      const int dst = node->id();
+      node->serve().ckpt_engine().BindRemoteTier(
+          [this, dst](ckpt::SnapshotId id) {
+            return replicator_->Fetch(dst, id,
+                                      hw::TransferPriority::kUrgent);
+          },
+          [this, dst](ckpt::SnapshotId id) {
+            return replicator_->EstimatedFetchTime(dst, id);
+          });
+    }
+  }
+}
+
+sim::Task<Status> ClusterServe::Initialize() {
+  for (auto& node : nodes_) {
+    SWAP_CO_RETURN_IF_ERROR(co_await node->serve().Initialize());
+  }
+  if (nodes_.size() > 1) {
+    SWAP_CO_RETURN_IF_ERROR(InstallPlaceholders());
+    StartReplication();
+    if (config_.cluster.migration) StartMigrationLoop();
+  }
+  initialized_ = true;
+  co_return Status::Ok();
+}
+
+Status ClusterServe::InstallPlaceholders() {
+  for (const core::ModelEntry& m : config_.models) {
+    Node& home = *nodes_[m.node];
+    core::Backend* home_backend = home.serve().backend(m.model_id);
+    Result<ckpt::Snapshot> snap =
+        home.serve().snapshot_store().FindByOwner(m.model_id);
+    // No home snapshot (keep_resident_after_init): standbys stay empty and
+    // placement falls back to the home node until one exists.
+    if (!snap.ok() || home_backend == nullptr) continue;
+    for (auto& node : nodes_) {
+      if (node->id() == m.node) continue;
+      core::Backend* standby = node->serve().backend(m.model_id);
+      if (standby == nullptr) continue;  // did not fit this node
+      SWAP_ASSIGN_OR_RETURN(ckpt::SnapshotId id,
+                            replicator_->InstallPlaceholder(node->id(),
+                                                            *snap));
+      standby->snapshot = id;
+      standby->has_snapshot = true;
+      standby->resident_bytes = home_backend->resident_bytes;
+    }
+  }
+  return Status::Ok();
+}
+
+void ClusterServe::StartReplication() {
+  const int n = static_cast<int>(nodes_.size());
+  const int copies = std::min(config_.cluster.replicate, n);
+  for (const core::ModelEntry& m : config_.models) {
+    int holders = 1;  // the home node holds the payload
+    // Walk the ring from a per-model offset so replicas spread across the
+    // fleet instead of piling onto the lowest node ids (which would leave
+    // the rest of the fleet placeholder-only and defeat locality routing).
+    const int offset =
+        1 + static_cast<int>(fault::StableHash(m.model_id) %
+                             static_cast<std::uint64_t>(n - 1));
+    for (int step = 0; step < n; ++step) {
+      if (holders >= copies) break;
+      Node* node = nodes_[(m.node + offset + step) % n].get();
+      if (node->id() == m.node) continue;
+      core::Backend* standby = node->serve().backend(m.model_id);
+      if (standby == nullptr || !standby->has_snapshot) continue;
+      ++holders;
+      const int dst = node->id();
+      const ckpt::SnapshotId id = standby->snapshot;
+      const std::string model = m.model_id;
+      sim_.Go([this, dst, id, model]() -> sim::Task<> {
+        Status s = co_await replicator_->Fetch(
+            dst, id, hw::TransferPriority::kBackground);
+        if (!s.ok()) {
+          SWAP_LOG(kWarning, "cluster")
+              << "background replication of " << model << " to node" << dst
+              << " failed: " << s.ToString();
+        }
+      });
+    }
+  }
+}
+
+Result<core::ResponseChannelPtr> ClusterServe::Accept(
+    core::InferenceRequest request) {
+  // Single node: a pass-through, so the event stream stays byte-identical
+  // to a plain SwapServe.
+  if (nodes_.size() == 1) {
+    return nodes_[0]->serve().handler().Accept(std::move(request));
+  }
+  SWAP_ASSIGN_OR_RETURN(int target, placement_->Pick(node_ptrs_,
+                                                     request.model));
+  Node& node = *nodes_[target];
+  ++routed_;
+  obs::IncCounter(&node.serve().obs(), "swapserve_cluster_routed_total",
+                  {{"model", request.model}, {"node", node.name()}});
+  return node.serve().handler().Accept(std::move(request));
+}
+
+sim::Task<core::ChatResult> ClusterServe::ChatAndWait(
+    std::string model_id, std::int64_t prompt_tokens,
+    std::int64_t max_tokens) {
+  if (nodes_.size() == 1) {
+    co_return co_await nodes_[0]->serve().ChatAndWait(
+        std::move(model_id), prompt_tokens, max_tokens);
+  }
+  core::InferenceRequest request;
+  request.model = std::move(model_id);
+  request.prompt_tokens = prompt_tokens;
+  request.max_tokens = max_tokens;
+  Result<core::ResponseChannelPtr> channel = Accept(std::move(request));
+  if (!channel.ok()) {
+    core::ChatResult failed;
+    failed.ok = false;
+    failed.error = channel.status().ToString();
+    co_return failed;
+  }
+  co_return co_await core::SwapServe::CollectResponse(*channel);
+}
+
+void ClusterServe::StartMigrationLoop() {
+  migration_running_ = true;
+  sim_.Go([this]() -> sim::Task<> {
+    const sim::SimDuration interval =
+        sim::Seconds(config_.cluster.migrate_interval_s);
+    while (migration_running_) {
+      co_await sim_.Delay(interval);
+      if (!migration_running_) break;
+      co_await MigrationSweep();
+    }
+  });
+}
+
+sim::Task<> ClusterServe::MigrationSweep() {
+  for (const core::ModelEntry& m : config_.models) {
+    // Find the node currently serving the model, if any.
+    int current = -1;
+    for (auto& node : nodes_) {
+      core::Backend* backend = node->serve().backend(m.model_id);
+      if (backend != nullptr &&
+          backend->engine->state() == engine::BackendState::kRunning) {
+        current = node->id();
+        break;
+      }
+    }
+    if (current < 0) continue;  // swapped out everywhere: routing decides
+    core::Backend* backend = nodes_[current]->serve().backend(m.model_id);
+    // A model with its own demand is mid-burst; migrating now would stall
+    // the very requests the move is meant to help.
+    if (backend->Demand() > 0) continue;
+    const double here = placement_->Score(*nodes_[current], m.model_id);
+    int best = current;
+    double best_score = here;
+    for (auto& node : nodes_) {
+      if (node->id() == current) continue;
+      const double score = placement_->Score(*node, m.model_id);
+      if (score < best_score) {
+        best_score = score;
+        best = node->id();
+      }
+    }
+    if (best == current) continue;
+    // Hysteresis: only move when the other node wins by a clear margin,
+    // or a flapping model would bounce between nodes every sweep.
+    if (best_score * config_.cluster.migrate_hysteresis >= here) continue;
+    co_await MigrateModel(m.model_id, current, best);
+  }
+}
+
+sim::Task<> ClusterServe::MigrateModel(std::string model, int from, int to) {
+  Node& src_node = *nodes_[from];
+  Node& dst_node = *nodes_[to];
+  core::Backend* src = src_node.serve().backend(model);
+  core::Backend* dst = dst_node.serve().backend(model);
+  if (src == nullptr || dst == nullptr) co_return;
+
+  fault::FaultDecision decision = fault::Evaluate(
+      &src_node.serve().fault_injector(), "cluster.migrate", model);
+  if (decision.stall.ns() > 0) co_await sim_.Delay(decision.stall);
+  if (!decision.status.ok()) {
+    ++migration_aborts_;
+    SWAP_LOG(kWarning, "cluster")
+        << "migration of " << model << " aborted by fault injection: "
+        << decision.status.ToString();
+    co_return;  // the model stays put; the next sweep may retry
+  }
+
+  // Drain and checkpoint at the source. SwapOut takes the backend's
+  // exclusive lock, so in-flight generations finish before the freeze.
+  Status out = co_await src_node.serve().controller().SwapOut(*src, false);
+  if (!out.ok()) {
+    SWAP_LOG(kWarning, "cluster") << "migration of " << model
+                               << ": source swap-out failed: "
+                               << out.ToString();
+    co_return;
+  }
+
+  // Make sure the destination holds (at least) a placeholder, then pull
+  // the payload ahead of demand.
+  if (!dst->has_snapshot) {
+    Result<ckpt::Snapshot> snap =
+        src_node.serve().snapshot_store().FindByOwner(model);
+    if (!snap.ok()) co_return;
+    Result<ckpt::SnapshotId> placed =
+        replicator_->InstallPlaceholder(to, *snap);
+    if (!placed.ok()) co_return;
+    dst->snapshot = *placed;
+    dst->has_snapshot = true;
+    dst->resident_bytes = src->resident_bytes;
+  }
+  Status fetched = co_await replicator_->Fetch(
+      to, dst->snapshot, hw::TransferPriority::kUrgent);
+  if (!fetched.ok()) {
+    SWAP_LOG(kWarning, "cluster")
+        << "migration of " << model << ": payload fetch failed ("
+        << fetched.ToString() << "); requests stay on " << src_node.name();
+    co_return;
+  }
+
+  // Restore at the destination so serving actually moves: a running
+  // replica scores zero swap cost, so placement routes new requests to
+  // the destination instead of tie-breaking back to the drained source.
+  Result<sim::SimRwLock::SharedGuard> pin =
+      co_await dst_node.serve().scheduler().EnsureRunningAndPin(*dst);
+  if (!pin.ok()) {
+    SWAP_LOG(kWarning, "cluster")
+        << "migration of " << model << ": destination restore failed ("
+        << pin.status().ToString() << "); requests stay on "
+        << src_node.name();
+    co_return;
+  }
+
+  // Re-dispatch the queued tail. Response channels travel inside the
+  // queued requests, so callers never notice the move.
+  int moved = 0;
+  while (auto queued = src->queue->TryRecv()) {
+    core::QueuedRequest item = std::move(*queued);
+    if (dst->queue->TrySend(item)) {
+      ++moved;
+      continue;
+    }
+    if (src->queue->TrySend(item)) continue;  // destination full: stay put
+    core::ResponseChunk error;
+    error.kind = core::ResponseChunk::Kind::kError;
+    error.error = "request dropped during migration of " + model;
+    item.response->TrySend(std::move(error));
+    item.response->Close();
+  }
+
+  ++migrations_;
+  obs::Instant(&src_node.serve().obs(), "cluster.migrate", "cluster",
+               "cluster",
+               {{"model", model},
+                {"from", src_node.name()},
+                {"to", dst_node.name()},
+                {"requeued", std::to_string(moved)}});
+  SWAP_LOG(kInfo, "cluster")
+      << "migrated " << model << " from " << src_node.name() << " to "
+      << dst_node.name() << " (" << moved << " queued request(s) moved)";
+  co_return;
+}
+
+void ClusterServe::Shutdown() {
+  migration_running_ = false;
+  for (auto& node : nodes_) node->serve().Shutdown();
+}
+
+}  // namespace swapserve::cluster

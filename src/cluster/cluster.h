@@ -1,0 +1,101 @@
+// ClusterServe: an N-node fleet of SwapServe machines behind one router.
+//
+// Each node is a full single-machine deployment (GPUs, NVMe, container
+// runtime, scheduler, supervisor). The fleet layer adds:
+//   - per-node config slicing: every model cold-starts once on its home
+//     node; other nodes that can fit it get a *standby* entry whose engine
+//     adopts a replicated checkpoint instead of initializing (zero time);
+//   - metadata placeholders (tier kRemote) + a SnapshotReplicator that
+//     streams payloads over the hw::Link fabric, eagerly up to
+//     cluster.replicate copies and on demand at swap-in;
+//   - locality-aware placement routing each accepted request to the node
+//     that can start serving it soonest;
+//   - optional live swap migration: a periodic sweep re-scores resident
+//     models and moves one (drain -> checkpoint -> fetch -> re-dispatch
+//     queued requests) when another node wins by the hysteresis margin.
+//
+// With cluster.nodes == 1 (the default) none of this exists: no fabric,
+// no replicator, no migration loop, Accept is a pass-through — the event
+// stream is byte-identical to a plain SwapServe (golden-gated).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fabric.h"
+#include "cluster/node.h"
+#include "cluster/placement.h"
+#include "cluster/replication.h"
+#include "core/config.h"
+#include "core/swap_serve.h"
+#include "core/types.h"
+#include "model/catalog.h"
+#include "sim/simulation.h"
+#include "util/status.h"
+
+namespace swapserve::cluster {
+
+class ClusterServe {
+ public:
+  // `config` must already be Validate()d; `catalog` must outlive the
+  // cluster (nodes keep references).
+  ClusterServe(sim::Simulation& sim, core::Config config,
+               const model::ModelCatalog& catalog,
+               core::SwapServeOptions options = {});
+  ClusterServe(const ClusterServe&) = delete;
+  ClusterServe& operator=(const ClusterServe&) = delete;
+
+  // Initialize every node (home models cold-start and snapshot; standby
+  // replicas adopt), install placeholders, kick off background
+  // replication, and start the migration sweep if configured.
+  sim::Task<Status> Initialize();
+
+  // Stop the migration loop and close every node's queues.
+  void Shutdown();
+
+  // Route a request to a node by placement score and enqueue it there.
+  Result<core::ResponseChannelPtr> Accept(core::InferenceRequest request);
+
+  // Convenience mirroring SwapServe::ChatAndWait through cluster routing.
+  sim::Task<core::ChatResult> ChatAndWait(std::string model_id,
+                                          std::int64_t prompt_tokens,
+                                          std::int64_t max_tokens);
+
+  int nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return *nodes_[i]; }
+  // Null with a single node (the fleet layer is inert).
+  Fabric* fabric() { return fabric_.get(); }
+  SnapshotReplicator* replicator() { return replicator_.get(); }
+  PlacementPolicy* placement() { return placement_.get(); }
+  std::uint64_t migrations() const { return migrations_; }
+  // Migrations the sweep decided on but a cluster.migrate fault aborted
+  // before the drain (the model stayed put; a later sweep may retry).
+  std::uint64_t migration_aborts() const { return migration_aborts_; }
+  std::uint64_t routed() const { return routed_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  Status InstallPlaceholders();
+  void StartReplication();
+  void StartMigrationLoop();
+  sim::Task<> MigrationSweep();
+  sim::Task<> MigrateModel(std::string model, int from, int to);
+
+  sim::Simulation& sim_;
+  core::Config config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Node*> node_ptrs_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<SnapshotReplicator> replicator_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  bool migration_running_ = false;
+  bool initialized_ = false;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t migration_aborts_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace swapserve::cluster

@@ -1,0 +1,31 @@
+#include "cluster/node.h"
+
+#include <utility>
+
+namespace swapserve::cluster {
+
+Node::Node(sim::Simulation& sim, int id, int gpu_count, core::Config config,
+           const model::ModelCatalog& catalog,
+           core::SwapServeOptions options)
+    : id_(id),
+      name_("node" + std::to_string(id)),
+      host_(hw::HostSpec::H100Host()),
+      // Same device name and open overhead as the single-machine fixture:
+      // a one-node fleet must schedule identical storage events.
+      storage_(sim, "nvme", host_.disk_read, sim::Seconds(0.1)),
+      runtime_(sim, container::ImageRegistry::WithDefaultImages()) {
+  for (int i = 0; i < gpu_count; ++i) {
+    gpus_.push_back(
+        std::make_unique<hw::GpuDevice>(sim, i, hw::GpuSpec::H100Hbm3_80GB()));
+  }
+  core::Hardware hardware;
+  for (auto& gpu : gpus_) hardware.gpus.push_back(gpu.get());
+  hardware.storage = &storage_;
+  hardware.runtime = &runtime_;
+  serve_ = std::make_unique<core::SwapServe>(sim, std::move(config), catalog,
+                                             hardware, options);
+}
+
+std::size_t Node::Pressure() { return serve_->InFlight(); }
+
+}  // namespace swapserve::cluster

@@ -1,0 +1,57 @@
+// One machine of a simulated fleet.
+//
+// A Node owns the hardware a single-machine SwapServe deployment owns —
+// GPUs with their PCIe links, an NVMe volume, a container runtime — plus
+// the SwapServe instance assembled on top of them. Construction mirrors
+// the single-machine test fixture exactly (same device names, same
+// ordering), so a one-node cluster schedules the same events as a plain
+// SwapServe and the golden traces stay byte-identical.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/runtime.h"
+#include "core/swap_serve.h"
+#include "hw/gpu_device.h"
+#include "hw/gpu_spec.h"
+#include "hw/link.h"
+#include "model/catalog.h"
+#include "sim/simulation.h"
+
+namespace swapserve::cluster {
+
+class Node {
+ public:
+  // `config` is this node's slice of the fleet config: its home models
+  // plus standby replicas of everyone else's (see ClusterServe).
+  Node(sim::Simulation& sim, int id, int gpu_count, core::Config config,
+       const model::ModelCatalog& catalog, core::SwapServeOptions options);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  core::SwapServe& serve() { return *serve_; }
+  hw::StorageDevice& storage() { return storage_; }
+  const std::vector<std::unique_ptr<hw::GpuDevice>>& gpus() const {
+    return gpus_;
+  }
+
+  // Total demand (queued + in-flight requests) across every backend on
+  // this node — the queue-pressure term of the placement score.
+  std::size_t Pressure();
+
+ private:
+  int id_;
+  std::string name_;
+  hw::HostSpec host_;
+  hw::StorageDevice storage_;
+  container::ContainerRuntime runtime_;
+  std::vector<std::unique_ptr<hw::GpuDevice>> gpus_;
+  std::unique_ptr<core::SwapServe> serve_;
+};
+
+}  // namespace swapserve::cluster

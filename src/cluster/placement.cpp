@@ -1,0 +1,67 @@
+#include "cluster/placement.h"
+
+#include "core/backend.h"
+#include "engine/engine.h"
+
+namespace swapserve::cluster {
+
+PlacementPolicy::PlacementPolicy(PlacementMode mode, std::uint64_t seed)
+    : mode_(mode), rng_(seed) {}
+
+double PlacementPolicy::Score(Node& node, const std::string& model) {
+  core::Backend* backend = node.serve().backend(model);
+  if (backend == nullptr) return kIneligible;
+  if (backend->health.state == core::BackendHealth::State::kQuarantined) {
+    return kIneligible;
+  }
+  double swap_s = 0;
+  if (backend->engine->state() == engine::BackendState::kRunning ||
+      backend->swap_in_progress) {
+    swap_s = 0;  // already resident (or about to be)
+  } else if (backend->has_snapshot) {
+    swap_s = node.serve()
+                 .ckpt_engine()
+                 .EstimatedSwapInTime(backend->snapshot)
+                 .ToSeconds();
+  } else {
+    swap_s = kColdStartPenaltyS;
+  }
+  return swap_s + kQueueCostS * static_cast<double>(node.Pressure());
+}
+
+Result<int> PlacementPolicy::Pick(const std::vector<Node*>& nodes,
+                                  const std::string& model) {
+  std::vector<int> eligible;
+  int best = -1;
+  double best_score = kIneligible;
+  for (Node* node : nodes) {
+    const double score = Score(*node, model);
+    if (score >= kIneligible) continue;
+    eligible.push_back(node->id());
+    if (score < best_score) {
+      best_score = score;
+      best = node->id();
+    }
+  }
+  if (eligible.empty()) {
+    return Unavailable("no eligible node hosts " + model +
+                       " (every replica is missing or quarantined)");
+  }
+  int picked = best;
+  if (mode_ == PlacementMode::kRandom) {
+    picked = eligible[static_cast<std::size_t>(rng_.UniformInt(
+        0, static_cast<std::int64_t>(eligible.size()) - 1))];
+  }
+  // Hard invariant: placement never targets a quarantined backend.
+  for (Node* node : nodes) {
+    if (node->id() != picked) continue;
+    core::Backend* backend = node->serve().backend(model);
+    SWAP_CHECK_MSG(backend != nullptr &&
+                       backend->health.state !=
+                           core::BackendHealth::State::kQuarantined,
+                   "placement picked a quarantined node");
+  }
+  return picked;
+}
+
+}  // namespace swapserve::cluster

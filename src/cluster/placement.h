@@ -1,0 +1,57 @@
+// Restore-target placement: which node should serve the next request for
+// (or receive a migration of) a model.
+//
+// The locality-aware policy scores every candidate node by how long that
+// node would take to start serving: zero swap cost if the model is already
+// resident there, the queue-aware EstimatedSwapInTime if a snapshot is
+// local (which, through the remote-fetch term, prices a placeholder at
+// source-read + fabric time), and a cold-start penalty if the node has no
+// snapshot at all — plus a queue-pressure term so a busy node loses to an
+// idle one even when both hold the payload. The random policy picks
+// uniformly among eligible nodes and exists as the bench baseline.
+//
+// Quarantined backends are never eligible, on either policy; Pick enforces
+// this with a hard check (the chaos property suite leans on it).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "sim/random.h"
+#include "util/status.h"
+
+namespace swapserve::cluster {
+
+enum class PlacementMode { kLocalityAware, kRandom };
+
+class PlacementPolicy {
+ public:
+  PlacementPolicy(PlacementMode mode, std::uint64_t seed);
+
+  // Cost in seconds of serving `model`'s next request on `node`;
+  // kIneligible when the node cannot take it (no backend, or quarantined).
+  double Score(Node& node, const std::string& model);
+
+  // Choose a node for `model` among `nodes`. Ties break toward the lowest
+  // node id; kRandom draws uniformly over the eligible set.
+  Result<int> Pick(const std::vector<Node*>& nodes, const std::string& model);
+
+  PlacementMode mode() const { return mode_; }
+
+  static constexpr double kIneligible = 1e18;
+  // Charged when a node would have to cold-start the model (no snapshot):
+  // on the order of a full engine initialization.
+  static constexpr double kColdStartPenaltyS = 300.0;
+  // Per queued/in-flight request on the node — the contention term that
+  // makes migration scores invert under load.
+  static constexpr double kQueueCostS = 0.5;
+
+ private:
+  PlacementMode mode_;
+  sim::Rng rng_;
+};
+
+}  // namespace swapserve::cluster

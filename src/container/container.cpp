@@ -98,6 +98,16 @@ sim::Task<Status> Container::Stop() {
   co_return Status::Ok();
 }
 
+Status Container::AdoptPaused() {
+  if (state_ != ContainerState::kCreated) {
+    return FailedPrecondition("adopt: container " + name_ + " is " +
+                              std::string(ContainerStateName(state_)));
+  }
+  freezer_.AdoptFrozen();
+  EnterState(ContainerState::kPaused);
+  return Status::Ok();
+}
+
 sim::SimDuration Container::TotalRunning() const {
   sim::SimDuration total = total_running_;
   if (state_ == ContainerState::kRunning) total += sim_.Now() - running_since_;

@@ -37,6 +37,9 @@ class CgroupFreezer {
   sim::Task<Status> Freeze();
   sim::Task<Status> Thaw();
   bool frozen() const { return frozen_; }
+  // Adopt a frozen cgroup without paying the freeze quantum: the state was
+  // inherited (cluster replica adoption), not produced by a local Freeze.
+  void AdoptFrozen() { frozen_ = true; }
 
  private:
   sim::Simulation& sim_;
@@ -66,6 +69,11 @@ class Container {
   sim::Task<Status> Unpause();
   // Running|Paused -> Stopped (SIGTERM with grace period).
   sim::Task<Status> Stop();
+  // Created -> Paused, instantly and without booting: the container is a
+  // cluster standby adopting a replicated checkpoint, so its process image
+  // arrives already frozen. The boot cost was paid once on the home node;
+  // the restore cost is paid later, at swap-in.
+  [[nodiscard]] Status AdoptPaused();
 
   // Total virtual time this container has spent in kRunning.
   sim::SimDuration TotalRunning() const;

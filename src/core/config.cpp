@@ -94,6 +94,38 @@ Result<Config> Config::FromJson(const json::Value& doc) {
                                           r.rejuvenate_after_s);
   }
 
+  if (const json::Value* cluster = doc.Find("cluster"); cluster != nullptr) {
+    if (!cluster->is_object()) {
+      return InvalidArgument("config: \"cluster\" must be an object");
+    }
+    ClusterConfig& c = cfg.cluster;
+    c.nodes = static_cast<int>(cluster->GetInt("nodes", c.nodes));
+    if (const json::Value* gpus = cluster->Find("node_gpus");
+        gpus != nullptr) {
+      if (!gpus->is_array()) {
+        return InvalidArgument("config: \"cluster.node_gpus\" must be an "
+                               "array of per-node GPU counts");
+      }
+      for (const json::Value& n : gpus->AsArray()) {
+        if (!n.is_number()) {
+          return InvalidArgument("config: \"cluster.node_gpus\" must be an "
+                                 "array of per-node GPU counts");
+        }
+        c.node_gpus.push_back(static_cast<int>(n.AsInt()));
+      }
+    }
+    c.fabric_gbps = cluster->GetDouble("fabric_gbps", c.fabric_gbps);
+    c.fabric_latency_us =
+        cluster->GetDouble("fabric_latency_us", c.fabric_latency_us);
+    c.replicate = static_cast<int>(cluster->GetInt("replicate", c.replicate));
+    c.placement = cluster->GetString("placement", c.placement);
+    c.migration = cluster->GetBool("migration", c.migration);
+    c.migrate_interval_s =
+        cluster->GetDouble("migrate_interval_s", c.migrate_interval_s);
+    c.migrate_hysteresis =
+        cluster->GetDouble("migrate_hysteresis", c.migrate_hysteresis);
+  }
+
   const json::Value* models = doc.Find("models");
   if (models == nullptr || !models->is_array()) {
     return InvalidArgument("config: missing \"models\" array");
@@ -115,6 +147,7 @@ Result<Config> Config::FromJson(const json::Value& doc) {
     m.sleep_mode = entry.GetBool("sleep_mode", m.sleep_mode);
     m.gpu = static_cast<int>(entry.GetInt("gpu", 0));
     m.tp = static_cast<int>(entry.GetInt("tp", 1));
+    m.node = static_cast<int>(entry.GetInt("node", 0));
     cfg.models.push_back(std::move(m));
   }
   return cfg;
@@ -123,6 +156,12 @@ Result<Config> Config::FromJson(const json::Value& doc) {
 Result<Config> Config::FromJsonText(std::string_view text) {
   SWAP_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
   return FromJson(doc);
+}
+
+int Config::NodeGpuCount(int node) const {
+  if (node < 0 || node >= cluster.nodes) return 0;
+  if (cluster.node_gpus.empty()) return 1;
+  return cluster.node_gpus[static_cast<std::size_t>(node)];
 }
 
 Status Config::Validate(const model::ModelCatalog& catalog,
@@ -177,6 +216,55 @@ Status Config::Validate(const model::ModelCatalog& catalog,
       recovery.rejuvenate_after_s < 0) {
     return InvalidArgument("config: supervisor intervals must be >= 0");
   }
+  if (cluster.nodes < 1) {
+    return InvalidArgument("config: cluster.nodes must be >= 1 (got " +
+                           std::to_string(cluster.nodes) + ")");
+  }
+  if (!cluster.node_gpus.empty() &&
+      cluster.node_gpus.size() != static_cast<std::size_t>(cluster.nodes)) {
+    return InvalidArgument(
+        "config: cluster.node_gpus lists " +
+        std::to_string(cluster.node_gpus.size()) +
+        " node(s) but cluster.nodes is " + std::to_string(cluster.nodes) +
+        "; give one GPU count per node or omit the list");
+  }
+  for (std::size_t i = 0; i < cluster.node_gpus.size(); ++i) {
+    if (cluster.node_gpus[i] < 1) {
+      return InvalidArgument("config: cluster.node_gpus[" +
+                             std::to_string(i) +
+                             "] must be >= 1 (every node needs a GPU)");
+    }
+  }
+  if (cluster.fabric_gbps <= 0) {
+    return InvalidArgument(
+        "config: cluster.fabric_gbps must be positive (got " +
+        std::to_string(cluster.fabric_gbps) +
+        "); the inter-node fabric cannot have zero bandwidth");
+  }
+  if (cluster.fabric_latency_us < 0) {
+    return InvalidArgument("config: cluster.fabric_latency_us must be >= 0");
+  }
+  if (cluster.replicate < 1 || cluster.replicate > cluster.nodes) {
+    return InvalidArgument(
+        "config: cluster.replicate must be in [1, cluster.nodes]; got " +
+        std::to_string(cluster.replicate) + " with " +
+        std::to_string(cluster.nodes) + " node(s)");
+  }
+  if (cluster.placement != "locality" && cluster.placement != "random") {
+    return InvalidArgument("config: cluster.placement must be \"locality\" "
+                           "or \"random\" (got \"" +
+                           cluster.placement + "\")");
+  }
+  if (cluster.migrate_interval_s <= 0) {
+    return InvalidArgument(
+        "config: cluster.migrate_interval_s must be positive");
+  }
+  if (cluster.migrate_hysteresis < 1.0) {
+    return InvalidArgument(
+        "config: cluster.migrate_hysteresis must be >= 1 (a factor below 1 "
+        "migrates toward strictly worse placements)");
+  }
+  const bool clustered = cluster.nodes > 1;
   std::set<std::string> seen;
   for (const ModelEntry& m : models) {
     if (!seen.insert(m.model_id).second) {
@@ -194,15 +282,26 @@ Status Config::Validate(const model::ModelCatalog& catalog,
       return InvalidArgument("config: model " + m.model_id +
                              ": init_timeout_s must be positive");
     }
-    if (m.gpu < 0 || m.gpu >= gpu_count) {
+    if (m.node < 0 || m.node >= cluster.nodes) {
+      return InvalidArgument("config: model " + m.model_id +
+                             ": home node " + std::to_string(m.node) +
+                             " out of range for a " +
+                             std::to_string(cluster.nodes) +
+                             "-node cluster");
+    }
+    // With one node the machine's real GPU count bounds placement; in a
+    // cluster each entry must fit its home node's GPU count.
+    const int host_gpus = clustered ? NodeGpuCount(m.node) : gpu_count;
+    if (m.gpu < 0 || m.gpu >= host_gpus) {
       return InvalidArgument("config: model " + m.model_id + ": gpu index " +
                              std::to_string(m.gpu) + " out of range");
     }
-    if (m.tp < 1 || m.gpu + m.tp > gpu_count) {
+    if (m.tp < 1 || m.gpu + m.tp > host_gpus) {
       return InvalidArgument(
           "config: model " + m.model_id + ": tensor-parallel group [" +
           std::to_string(m.gpu) + ", " + std::to_string(m.gpu + m.tp) +
-          ") does not fit the " + std::to_string(gpu_count) + "-GPU host");
+          ") does not fit the " + std::to_string(host_gpus) + "-GPU " +
+          (clustered ? "node " + std::to_string(m.node) : "host"));
     }
   }
   return Status::Ok();

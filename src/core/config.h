@@ -81,6 +81,30 @@ struct GlobalConfig {
   bool snapshot_prefetch = false;
 };
 
+// Multi-node cluster topology (src/cluster). With nodes == 1 (the default)
+// the fleet layer is inert: no fabric, no replication, no migration loop,
+// and every event stream is byte-identical to the single-machine build.
+struct ClusterConfig {
+  int nodes = 1;
+  // GPUs per node. Empty = one GPU per node; otherwise one entry per node.
+  std::vector<int> node_gpus;
+  // Inter-node fabric: per-direction bandwidth of each node-pair channel
+  // (gigabits/s, like the NICs it models) and per-transfer setup latency.
+  double fabric_gbps = 100.0;
+  double fabric_latency_us = 10.0;
+  // Payload copies per snapshot, home node included. Nodes beyond this get
+  // metadata-only placeholders served by on-demand remote fetch.
+  int replicate = 1;
+  // Restore-target scoring: "locality" (swap-in cost + queue pressure) or
+  // "random" (uniform over eligible nodes; the bench baseline).
+  std::string placement = "locality";
+  // Live swap migration: periodically re-score running models and move
+  // them when another node wins by more than the hysteresis factor.
+  bool migration = false;
+  double migrate_interval_s = 5.0;
+  double migrate_hysteresis = 2.0;
+};
+
 // Per-model parameters ("model name, container image, GPU memory
 // utilization, and initialization timeout").
 struct ModelEntry {
@@ -93,6 +117,11 @@ struct ModelEntry {
   int gpu = 0;  // first device index the backend is pinned to
   // Tensor-parallel degree (§6): the backend spans GPUs [gpu, gpu + tp).
   int tp = 1;
+  // Home node in a cluster (ignored with cluster.nodes == 1).
+  int node = 0;
+  // Internal, set by the cluster assembly (never parsed): this entry is a
+  // standby replica that adopts a checkpoint instead of cold-starting.
+  bool standby = false;
 };
 
 struct Config {
@@ -100,19 +129,27 @@ struct Config {
   std::vector<ModelEntry> models;
   FaultConfig fault;
   RecoveryConfig recovery;
+  ClusterConfig cluster;
 
   // Parse from a JSON document of the shape
   //   {"global": {...}, "models": [{...}, ...],
   //    "fault": {"seed": N, "rules": [{"point": "ckpt.swap_in",
   //              "probability": 0.05, "code": "UNAVAILABLE", ...}]},
-  //    "recovery": {...}}.
+  //    "recovery": {...},
+  //    "cluster": {"nodes": N, "node_gpus": [...], ...}}.
   static Result<Config> FromJson(const json::Value& doc);
   static Result<Config> FromJsonText(std::string_view text);
 
   // Cross-checks every entry against the catalog and the engine registry;
-  // returns the first violation.
+  // returns the first violation. With cluster.nodes > 1 model placement is
+  // checked against each entry's home node's GPU count (from
+  // cluster.node_gpus) instead of `gpu_count`.
   [[nodiscard]] Status Validate(const model::ModelCatalog& catalog,
                                int gpu_count) const;
+
+  // GPU count of node `node` under this cluster config (defaults to one
+  // GPU per node when node_gpus is empty).
+  int NodeGpuCount(int node) const;
 };
 
 }  // namespace swapserve::core

@@ -155,6 +155,15 @@ sim::Task<Status> SwapServe::Initialize() {
   // model), snapshot, leave paused. Sequential by design: large backends
   // (vLLM claims ~72 GB) cannot co-initialize on one GPU.
   for (const std::unique_ptr<Backend>& backend : backends_) {
+    if (backend->config.standby) {
+      // Cluster standby: no cold start here — adopt the checkpoint the
+      // replicator installs (container paused, process checkpointed,
+      // kSwappedOut). Snapshot metadata arrives via the cluster layer.
+      SWAP_CO_RETURN_IF_ERROR(backend->engine->AdoptCheckpoint());
+      SWAP_LOG(kInfo, "swapserve")
+          << backend->name() << " brought up as a standby replica";
+      continue;
+    }
     const sim::SimTime t0 = sim_.Now();
     // Claim the whole device group while this backend initializes.
     std::vector<TaskManager::Reservation> reservations;
@@ -284,6 +293,17 @@ std::vector<Backend*> SwapServe::backends() {
   out.reserve(backends_.size());
   for (const std::unique_ptr<Backend>& b : backends_) out.push_back(b.get());
   return out;
+}
+
+std::size_t SwapServe::InFlight() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Backend>& b : backends_) {
+    total += b->queue->size();
+  }
+  for (const std::unique_ptr<ModelWorker>& w : workers_) {
+    total += static_cast<std::size_t>(w->active_relays());
+  }
+  return total;
 }
 
 }  // namespace swapserve::core

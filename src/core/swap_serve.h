@@ -84,6 +84,11 @@ class SwapServe {
   // --- introspection ------------------------------------------------------
   Backend* backend(const std::string& model_id);
   std::vector<Backend*> backends();
+  // Total in-flight demand: requests still queued plus relays waiting on
+  // swap-in or generating. Workers drain their queue eagerly (one spawned
+  // relay per request), so queue depth alone undercounts load — cluster
+  // placement scores use this as the node-pressure signal.
+  std::size_t InFlight() const;
   Metrics& metrics() { return metrics_; }
   obs::Observability& obs() { return obs_; }
   TaskManager& task_manager() { return task_manager_; }

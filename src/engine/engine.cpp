@@ -117,6 +117,36 @@ sim::Task<Result<InitBreakdown>> InferenceEngine::ColdStart() {
   co_return breakdown;
 }
 
+Status InferenceEngine::AdoptCheckpoint() {
+  if (state_ != BackendState::kUninitialized) {
+    return FailedPrecondition("adopt: backend " + name_ + " is " +
+                              std::string(BackendStateName(state_)));
+  }
+  Result<container::Container*> created =
+      env_.runtime->Create(name_, EngineImageName(kind()));
+  if (!created.ok()) {
+    state_ = BackendState::kStopped;
+    return created.status();
+  }
+  container_ = *created;
+  Status s = container_->AdoptPaused();
+  if (!s.ok()) {
+    state_ = BackendState::kStopped;
+    return s;
+  }
+  s = process_.AdoptCheckpointed();
+  if (!s.ok()) {
+    state_ = BackendState::kStopped;
+    return s;
+  }
+  AdoptEngineState();
+  state_ = BackendState::kSwappedOut;
+  SWAP_LOG(kInfo, "engine")
+      << name_ << " adopted a replicated checkpoint ("
+      << GpuResidentBytes().ToString() << " to restore)";
+  return Status::Ok();
+}
+
 sim::Task<Result<GenerationResult>> InferenceEngine::Generate(
     GenerationRequest req) {
   if (state_ != BackendState::kRunning) {

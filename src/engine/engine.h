@@ -115,6 +115,15 @@ class InferenceEngine {
   // kUninitialized.
   sim::Task<Result<InitBreakdown>> ColdStart();
 
+  // Cluster standby bring-up: instead of cold-starting, adopt a checkpoint
+  // replicated from this model's home node. Creates the container in the
+  // paused state, marks the process checkpointed, and replays the memory
+  // accounting InitializeEngine + PrepareForCheckpoint would have left
+  // behind, ending in kSwappedOut. Costs zero virtual time — the boot was
+  // paid on the home node, the restore is paid at swap-in. Valid once,
+  // from kUninitialized.
+  [[nodiscard]] Status AdoptCheckpoint();
+
   // Serve one request; valid while kRunning. Concurrent calls batch.
   sim::Task<Result<GenerationResult>> Generate(GenerationRequest req);
 
@@ -185,6 +194,13 @@ class InferenceEngine {
   // allocate GPU memory (owner = name()) and fill the breakdown fields
   // other than container_start.
   virtual sim::Task<Result<InitBreakdown>> InitializeEngine() = 0;
+
+  // Replay the host-side accounting (KV arena size, sleep flag, load
+  // markers) a checkpointed instance of this engine carries, without
+  // touching device memory. Called by AdoptCheckpoint; must leave
+  // DirtyBytes/CleanBytes matching what a home-node swap-out of the same
+  // model produced, so the adopted snapshot's byte counts line up.
+  virtual void AdoptEngineState() {}
 
   sim::Simulation& sim() { return *env_.sim; }
   hw::GpuDevice& gpu() { return *env_.gpu; }

@@ -34,6 +34,9 @@ class OllamaEngine final : public InferenceEngine {
 
  protected:
   sim::Task<Result<InitBreakdown>> InitializeEngine() override;
+  // A checkpointed Ollama runner always has its model loaded (the resident
+  // set is exactly what the snapshot carries).
+  void AdoptEngineState() override { model_loaded_ = true; }
 
  private:
   // Runner spawn + GGUF setup + pipelined storage-read / H2D copy.

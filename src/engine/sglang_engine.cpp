@@ -46,6 +46,15 @@ sim::Task<Result<InitBreakdown>> SglangEngine::InitializeEngine() {
   };
 }
 
+void SglangEngine::AdoptEngineState() {
+  // Mirror InitializeEngine's pool sizing so the adopted snapshot's byte
+  // counts match a home-node swap-out of the same model.
+  const auto target = Bytes(static_cast<std::int64_t>(
+      static_cast<double>(gpu().capacity().count()) *
+      std::min(options_.gpu_memory_utilization, 0.87) * tp_degree()));
+  kv_pool_ = std::max(Bytes(0), target - model_.WeightBytes());
+}
+
 Bytes SglangEngine::DirtyBytes() const {
   // No sleep-mode integration: weights and the KV pool all checkpoint.
   return model_.WeightBytes() + kv_pool_;

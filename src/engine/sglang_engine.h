@@ -27,6 +27,7 @@ class SglangEngine final : public InferenceEngine {
 
  protected:
   sim::Task<Result<InitBreakdown>> InitializeEngine() override;
+  void AdoptEngineState() override;
 
  private:
   Bytes kv_pool_{0};

@@ -45,6 +45,15 @@ sim::Task<Result<InitBreakdown>> TrtllmEngine::InitializeEngine() {
   };
 }
 
+void TrtllmEngine::AdoptEngineState() {
+  // Mirror InitializeEngine's pool sizing so the adopted snapshot's byte
+  // counts match a home-node swap-out of the same model.
+  const auto target = Bytes(static_cast<std::int64_t>(
+      static_cast<double>(gpu().capacity().count()) *
+      options_.gpu_memory_utilization * tp_degree()));
+  kv_pool_ = std::max(Bytes(0), target - model_.WeightBytes());
+}
+
 Bytes TrtllmEngine::DirtyBytes() const {
   return model_.WeightBytes() + kv_pool_;
 }

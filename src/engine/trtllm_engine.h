@@ -26,6 +26,7 @@ class TrtllmEngine final : public InferenceEngine {
 
  protected:
   sim::Task<Result<InitBreakdown>> InitializeEngine() override;
+  void AdoptEngineState() override;
 
  private:
   Bytes kv_pool_{0};

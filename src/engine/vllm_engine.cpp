@@ -57,6 +57,17 @@ sim::Task<Result<InitBreakdown>> VllmEngine::InitializeEngine() {
   };
 }
 
+void VllmEngine::AdoptEngineState() {
+  // The replicated checkpoint was taken after PrepareForCheckpoint on the
+  // home node: the KV arena is sized exactly as InitializeEngine would
+  // size it, and the sleep flag matches the home engine's at swap-out.
+  const auto target = Bytes(static_cast<std::int64_t>(
+      static_cast<double>(gpu().capacity().count()) *
+      options_.gpu_memory_utilization * tp_degree()));
+  kv_arena_ = std::max(Bytes(0), target - model_.WeightBytes());
+  sleeping_ = options_.sleep_mode;
+}
+
 Bytes VllmEngine::DirtyBytes() const {
   // Asleep: only the weights hold state. Awake: the KV arena contents
   // (paged blocks + CUDA graph pools) would have to be checkpointed too.

@@ -34,6 +34,7 @@ class VllmEngine final : public InferenceEngine {
 
  protected:
   sim::Task<Result<InitBreakdown>> InitializeEngine() override;
+  void AdoptEngineState() override;
 
  private:
   Bytes kv_arena_{0};   // preallocated paged-KV pool

@@ -35,6 +35,13 @@
 //   engine.restart   a supervisor-driven restart fails to come back up;
 //                    repeated failures exhaust the retry budget and drive
 //                    quarantine
+//   cluster.fetch    a cross-node snapshot fetch fails before bytes move
+//                    (retryable — the placeholder survives); a
+//                    DATA_LOSS-coded rule instead lands the payload and
+//                    corrupts it, caught by the restore-time checksum
+//   cluster.migrate  a live swap migration aborts before the source is
+//                    drained; the model stays put and a later sweep may
+//                    retry
 
 #pragma once
 

@@ -143,6 +143,135 @@ TEST_F(ValidateTest, RejectsBadGlobals) {
   EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
 }
 
+TEST(ConfigTest, ParsesClusterSection) {
+  auto cfg = Config::FromJsonText(R"({
+    "models": [{"model": "llama-3.2-1b-fp16", "node": 1}],
+    "cluster": {
+      "nodes": 3,
+      "node_gpus": [2, 1, 1],
+      "fabric_gbps": 200,
+      "fabric_latency_us": 5,
+      "replicate": 2,
+      "placement": "random",
+      "migration": true,
+      "migrate_interval_s": 2.5,
+      "migrate_hysteresis": 1.5
+    }
+  })");
+  ASSERT_TRUE(cfg.ok()) << cfg.status();
+  EXPECT_EQ(cfg->cluster.nodes, 3);
+  ASSERT_EQ(cfg->cluster.node_gpus.size(), 3u);
+  EXPECT_EQ(cfg->cluster.node_gpus[0], 2);
+  EXPECT_DOUBLE_EQ(cfg->cluster.fabric_gbps, 200);
+  EXPECT_DOUBLE_EQ(cfg->cluster.fabric_latency_us, 5);
+  EXPECT_EQ(cfg->cluster.replicate, 2);
+  EXPECT_EQ(cfg->cluster.placement, "random");
+  EXPECT_TRUE(cfg->cluster.migration);
+  EXPECT_DOUBLE_EQ(cfg->cluster.migrate_interval_s, 2.5);
+  EXPECT_DOUBLE_EQ(cfg->cluster.migrate_hysteresis, 1.5);
+  EXPECT_EQ(cfg->models[0].node, 1);
+  // `standby` is internal cluster bookkeeping, never parsed from JSON.
+  EXPECT_FALSE(cfg->models[0].standby);
+  // Per-node GPU counts resolve through NodeGpuCount.
+  EXPECT_EQ(cfg->NodeGpuCount(0), 2);
+  EXPECT_EQ(cfg->NodeGpuCount(1), 1);
+  EXPECT_EQ(cfg->NodeGpuCount(7), 0);  // out of range
+}
+
+TEST(ConfigTest, ClusterDefaultsAreSingleNode) {
+  auto cfg = Config::FromJsonText(
+      R"({"models": [{"model": "llama-3.2-1b-fp16"}]})");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->cluster.nodes, 1);
+  EXPECT_TRUE(cfg->cluster.node_gpus.empty());
+  EXPECT_EQ(cfg->cluster.placement, "locality");
+  EXPECT_FALSE(cfg->cluster.migration);
+  EXPECT_EQ(cfg->NodeGpuCount(0), 1);  // empty list = one GPU per node
+}
+
+TEST(ConfigTest, ClusterParseErrors) {
+  // node_gpus entries must be numbers.
+  EXPECT_FALSE(Config::FromJsonText(R"({
+    "models": [{"model": "m"}],
+    "cluster": {"nodes": 2, "node_gpus": ["two", 1]}
+  })")
+                   .ok());
+}
+
+TEST_F(ValidateTest, RejectsBadClusterTopology) {
+  Config cfg = Valid();
+  cfg.cluster.nodes = 0;
+  EXPECT_EQ(cfg.Validate(catalog, 1).code(), StatusCode::kInvalidArgument);
+  cfg.cluster.nodes = -3;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+
+  // node_gpus must list one entry per node when present.
+  cfg = Valid();
+  cfg.cluster.nodes = 3;
+  cfg.cluster.node_gpus = {1, 1};
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.cluster.node_gpus = {1, 1, 1};
+  EXPECT_TRUE(cfg.Validate(catalog, 1).ok());
+  cfg.cluster.node_gpus = {1, 0, 1};
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+}
+
+TEST_F(ValidateTest, RejectsBadFabricAndPolicy) {
+  Config cfg = Valid();
+  cfg.cluster.nodes = 2;
+  cfg.cluster.fabric_gbps = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.cluster.fabric_gbps = -1;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+
+  cfg = Valid();
+  cfg.cluster.nodes = 2;
+  cfg.cluster.fabric_latency_us = -1;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+
+  cfg = Valid();
+  cfg.cluster.nodes = 2;
+  cfg.cluster.replicate = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.cluster.replicate = 3;  // more copies than nodes
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.cluster.replicate = 2;
+  EXPECT_TRUE(cfg.Validate(catalog, 1).ok());
+
+  cfg = Valid();
+  cfg.cluster.nodes = 2;
+  cfg.cluster.placement = "closest";
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+
+  cfg = Valid();
+  cfg.cluster.nodes = 2;
+  cfg.cluster.migrate_interval_s = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+
+  cfg = Valid();
+  cfg.cluster.nodes = 2;
+  cfg.cluster.migrate_hysteresis = 0.5;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+}
+
+TEST_F(ValidateTest, ChecksModelPlacementAgainstHomeNode) {
+  Config cfg = Valid();
+  cfg.cluster.nodes = 2;
+  cfg.cluster.node_gpus = {1, 2};
+  cfg.models[0].node = 2;  // out of range
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.models[0].node = -1;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+
+  // gpu/tp bounds check against the *home node's* GPU count, not the
+  // single-machine gpu_count argument.
+  cfg.models[0].node = 1;
+  cfg.models[0].gpu = 1;
+  EXPECT_TRUE(cfg.Validate(catalog, 1).ok());
+  cfg.models[0].node = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+}
+
 TEST(MetricsTest, Aggregations) {
   Metrics m;
   m.ForModel("a").completed = 3;

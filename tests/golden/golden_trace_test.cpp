@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "../core/fixture.h"
+#include "cluster/cluster.h"
 #include "core/swap_serve.h"
 #include "obs/trace.h"
 
@@ -96,6 +97,59 @@ std::string RunFig6aScenario(double host_cache_mib, bool prefetch) {
   return out.str();
 }
 
+// The same fig6a scenario, but assembled through the cluster layer with
+// cluster.nodes = 1 (the default). The node owns its hardware, so totals
+// serialize from the node's devices; everything else must line up with
+// RunFig6aScenario byte for byte.
+std::string RunFig6aCluster() {
+  sim::Simulation sim;
+  model::ModelCatalog catalog = model::ModelCatalog::Default();
+  Config cfg;
+  for (const char* model_id : {"llama-3.2-1b-fp16", "llama-3.1-8b-fp16"}) {
+    ModelEntry m;
+    m.model_id = model_id;
+    m.engine = "vllm";
+    cfg.models.push_back(std::move(m));
+  }
+  cluster::ClusterServe fleet(sim, cfg, catalog);
+  sim::Spawn([&]() -> sim::Task<> {
+    SWAP_CHECK((co_await fleet.Initialize()).ok());
+    for (int round = 0; round < 2; ++round) {
+      for (const ModelEntry& entry : cfg.models) {
+        ChatResult r = co_await fleet.ChatAndWait(entry.model_id, 64, 16);
+        SWAP_CHECK_MSG(r.ok, r.error);
+      }
+    }
+    fleet.Shutdown();
+  });
+  sim.Run();
+
+  SwapServe& serve = fleet.node(0).serve();
+  std::ostringstream out;
+  out << "# swapserve golden trace v1\n";
+  out << "# scenario: fig6a two-model vllm contention, 2 rounds\n";
+  const std::vector<obs::TraceEvent> events = serve.obs().trace.Snapshot();
+  SWAP_CHECK_MSG(serve.obs().trace.dropped() == 0,
+                 "trace ring wrapped; golden stream is incomplete");
+  for (const obs::TraceEvent& e : events) AppendEvent(out, e);
+  out << "# totals\n";
+  out << "completed=" << serve.metrics().TotalCompleted()
+      << " failed=" << serve.metrics().TotalFailed()
+      << " swap_outs=" << serve.ckpt_engine().swap_out_count()
+      << " swap_ins=" << serve.ckpt_engine().swap_in_count() << '\n';
+  const auto& gpus = fleet.node(0).gpus();
+  for (std::size_t g = 0; g < gpus.size(); ++g) {
+    out << "gpu" << g << ".h2d="
+        << gpus[g]->pcie().h2d().total_transferred().count() << " gpu" << g
+        << ".d2h=" << gpus[g]->pcie().d2h().total_transferred().count()
+        << '\n';
+  }
+  out << "nvme.read=" << fleet.node(0).storage().total_read().count()
+      << " nvme.write=" << fleet.node(0).storage().total_written().count()
+      << '\n';
+  return out.str();
+}
+
 std::string ReadFileOrEmpty(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return {};
@@ -154,6 +208,16 @@ TEST(GoldenTraceTest, UncontendedTierIsByteIdenticalToLegacyPath) {
   const std::string tiered = RunFig6aScenario(192.0 * 1024, false);
   EXPECT_EQ(legacy, tiered)
       << "an idle snapshot tier perturbed the event stream";
+}
+
+// Cluster-layer acceptance: a one-node fleet is inert — the serialized
+// fig6a stream must be byte-identical to the plain single-machine path
+// (and therefore to the checked-in golden file).
+TEST(GoldenTraceTest, SingleNodeClusterIsByteIdenticalToSingleMachine) {
+  const std::string fleet = RunFig6aCluster();
+  EXPECT_EQ(RunFig6aScenario(0.0, false), fleet)
+      << "a one-node cluster perturbed the event stream";
+  ExpectGoldenMatch("fig6a_trace", fleet);
 }
 
 }  // namespace
