@@ -3,9 +3,20 @@
 // These measure the *simulator's* own cost — events/second, coroutine
 // overhead, channel throughput — which bounds how much virtual time the
 // figure benches can chew through per real second.
+//
+// Machine-readable output: set SWAPSERVE_BENCH_JSON=<path> to also write a
+// {benchmark -> events_per_sec} JSON document (bench::WriteBenchJson);
+// scripts/check_perf.sh uses it to gate regressions against the checked-in
+// BENCH_sim_core.json baseline.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.h"
 #include "json/json.h"
 #include "sim/channel.h"
 #include "sim/combinators.h"
@@ -50,6 +61,66 @@ void BM_CoroutineSpawnDelay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CoroutineSpawnDelay)->Arg(1000)->Arg(10000);
+
+void BM_PostThroughput(benchmark::State& state) {
+  // The ubiquitous "wake at Now()" path (sync.h, channel.h, mutex handoff):
+  // a ready-ring push/pop per event, no timer-heap sift.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int hops = 0;
+    sim.Go([&sim, &hops, n]() -> sim::Task<> {
+      for (int i = 0; i < n; ++i) {
+        co_await sim.Yield();
+        ++hops;
+      }
+    });
+    sim.Run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PostThroughput)->Arg(100000);
+
+void BM_WaitUntil(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int wakes = 0;
+    sim.Go([&sim, &wakes, n]() -> sim::Task<> {
+      for (int i = 0; i < n; ++i) {
+        co_await sim.WaitUntil(sim.Now() + sim::Micros(1));
+        ++wakes;
+      }
+    });
+    sim.Run();
+    benchmark::DoNotOptimize(wakes);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WaitUntil)->Arg(100000);
+
+void BM_MutexUncontended(benchmark::State& state) {
+  // Uncontended acquire/release never suspends: await_ready takes the lock
+  // inline and Unlock finds no waiters.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::SimMutex mu(sim);
+    std::int64_t acquires = 0;
+    sim.Go([&mu, &acquires, n]() -> sim::Task<> {
+      for (int i = 0; i < n; ++i) {
+        auto guard = co_await mu.Acquire();
+        ++acquires;
+      }
+      co_return;
+    });
+    sim.Run();
+    benchmark::DoNotOptimize(acquires);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MutexUncontended)->Arg(100000);
 
 void BM_ChannelPingPong(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
@@ -129,7 +200,41 @@ void BM_TraceGenerationWeek(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGenerationWeek);
 
+// Console output as usual, plus a capture of every run's items_per_second
+// for the optional JSON dump (SWAPSERVE_BENCH_JSON).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      auto it = run.counters.find("items_per_second");
+      if (it == run.counters.end()) continue;
+      rows_.emplace_back(run.benchmark_name(),
+                         static_cast<double>(it->second));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+  const std::vector<std::pair<std::string, double>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> rows_;
+};
+
 }  // namespace
 }  // namespace swapserve
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  swapserve::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (const char* path = std::getenv("SWAPSERVE_BENCH_JSON")) {
+    swapserve::bench::WriteBenchJson(
+        path, "events_per_sec", reporter.rows(),
+        "bench_sim_micro items/sec per benchmark (wall-clock, "
+        "RelWithDebInfo)");
+  }
+  return 0;
+}

@@ -9,10 +9,13 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "json/json.h"
 
 #include "container/runtime.h"
 #include "core/config.h"
@@ -87,6 +90,22 @@ struct Bed {
   hw::StorageDevice storage;
   container::ContainerRuntime runtime;
 };
+
+// Machine-readable bench output: one {benchmark -> metric} object, written
+// so perf gates (scripts/check_perf.sh) can diff runs instead of scraping
+// stdout. `metric_name` documents the unit (e.g. "events_per_sec").
+inline void WriteBenchJson(
+    const std::string& path, const std::string& metric_name,
+    const std::vector<std::pair<std::string, double>>& rows,
+    const std::string& note) {
+  json::Value doc = json::Value::MakeObject();
+  doc["note"] = note;
+  json::Value metrics = json::Value::MakeObject();
+  for (const auto& [name, value] : rows) metrics[name] = value;
+  doc[metric_name] = std::move(metrics);
+  std::ofstream os(path);
+  os << doc.Pretty() << "\n";
+}
 
 inline void PrintHeader(const std::string& title, const std::string& note) {
   // Opt-in diagnostics: SWAPSERVE_LOG=debug|info|warning.

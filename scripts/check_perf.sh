@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Simulator-core perf regression gate.
+#
+# Builds bench_sim_micro, runs the event-core microbenchmarks, writes the
+# machine-readable results to <build>/BENCH_sim_core_current.json, and
+# compares events/sec against the checked-in baseline BENCH_sim_core.json
+# (its "post" block). Fails when any gated benchmark regresses by more than
+# the baseline's regression_gate_pct (default 15%).
+#
+# Refreshing the baseline after an intentional perf change:
+#   scripts/check_perf.sh --update
+# rewrites the "post" block (and speedups vs the recorded "pre" numbers);
+# commit the result alongside the change.
+#
+# Registered as `ctest -L perf` when configured with
+# -DSWAPSERVE_PERF_CHECKS=ON (off by default: wall-clock gates belong in a
+# quiet environment, not the tier-1 suite).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="build"
+UPDATE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) UPDATE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake --preset default >/dev/null
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_sim_micro
+
+CURRENT="$BUILD_DIR/BENCH_sim_core_current.json"
+FILTER='BM_EventQueueThroughput|BM_CoroutineSpawnDelay|BM_PostThroughput|BM_WaitUntil|BM_MutexUncontended|BM_MutexHandoff|BM_ChannelPingPong'
+
+run_bench() {
+  SWAPSERVE_BENCH_JSON="$1" "$BUILD_DIR/bench/bench_sim_micro" \
+    --benchmark_filter="$FILTER" --benchmark_min_time=0.5
+}
+
+if [ "$UPDATE" = 1 ]; then
+  run_bench "$CURRENT"
+  python3 - "$CURRENT" BENCH_sim_core.json <<'PY'
+import json, sys
+
+current = json.load(open(sys.argv[1]))["events_per_sec"]
+baseline_path = sys.argv[2]
+baseline = json.load(open(baseline_path))
+baseline["post"] = {k: round(v) for k, v in sorted(current.items())}
+pre = baseline.get("pre", {})
+baseline["speedup_vs_pre"] = {
+    k: round(baseline["post"][k] / pre[k], 2) for k in pre
+    if k in baseline["post"]
+}
+json.dump(baseline, open(baseline_path, "w"), indent=2)
+print(f"perf: baseline {baseline_path} updated")
+PY
+  exit 0
+fi
+
+# Wall-clock throughput drifts run-to-run on shared machines, so a single
+# slow sample is not a regression. Gate on the per-benchmark best across up
+# to 3 attempts; stop early once every benchmark clears the threshold.
+rm -f "$CURRENT"
+STATUS=1
+for attempt in 1 2 3; do
+  run_bench "$CURRENT.attempt"
+  if python3 - "$CURRENT.attempt" "$CURRENT" BENCH_sim_core.json \
+      "$attempt" <<'PY'
+import json, os, sys
+
+sample = json.load(open(sys.argv[1]))["events_per_sec"]
+merged_path = sys.argv[2]
+merged = {}
+if os.path.exists(merged_path):
+    merged = json.load(open(merged_path))["events_per_sec"]
+for name, value in sample.items():
+    merged[name] = max(value, merged.get(name, 0))
+json.dump({"events_per_sec": merged}, open(merged_path, "w"), indent=2)
+
+baseline = json.load(open(sys.argv[3]))
+attempt = int(sys.argv[4])
+tolerance = baseline.get("regression_gate_pct", 15) / 100.0
+failures = []
+for name, expected in baseline["post"].items():
+    got = merged.get(name)
+    if got is None:
+        failures.append(f"{name}: missing from current run")
+    elif got < expected * (1.0 - tolerance):
+        failures.append(
+            f"{name}: {got:,.0f} events/sec is more than "
+            f"{tolerance:.0%} below baseline {expected:,.0f}")
+    else:
+        print(f"perf: {name}: {got:,.0f} vs baseline {expected:,.0f} ok")
+if failures:
+    print(f"perf: attempt {attempt} below baseline", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+PY
+  then
+    STATUS=0
+    break
+  fi
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "perf: REGRESSION (best of 3 attempts below baseline)" >&2
+  exit 1
+fi
+echo "perf: OK"

@@ -17,11 +17,11 @@
 #pragma once
 
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "sim/simulation.h"
+#include "sim/small_ring.h"
 #include "util/status.h"
 
 namespace swapserve::sim {
@@ -107,14 +107,17 @@ class Channel {
   void Close() {
     if (closed_) return;
     closed_ = true;
-    for (SendAwaiter* s : send_waiters_) {
+    while (!send_waiters_.empty()) {
+      SendAwaiter* s = send_waiters_.front();
+      send_waiters_.pop_front();
       s->accepted_ = false;
       sim_->Post(s->handle_);
     }
-    send_waiters_.clear();
     // Blocked receivers can only exist when the buffer is empty.
-    for (RecvAwaiter* r : recv_waiters_) sim_->Post(r->handle_);
-    recv_waiters_.clear();
+    while (!recv_waiters_.empty()) {
+      sim_->Post(recv_waiters_.front()->handle_);
+      recv_waiters_.pop_front();
+    }
   }
 
   bool closed() const { return closed_; }
@@ -171,9 +174,9 @@ class Channel {
   Simulation* sim_;
   std::size_t capacity_;
   bool closed_ = false;
-  std::deque<T> buffer_;
-  std::deque<SendAwaiter*> send_waiters_;
-  std::deque<RecvAwaiter*> recv_waiters_;
+  SmallRing<T> buffer_;
+  SmallRing<SendAwaiter*> send_waiters_;
+  SmallRing<RecvAwaiter*> recv_waiters_;
 };
 
 }  // namespace swapserve::sim

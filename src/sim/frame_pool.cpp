@@ -1,0 +1,62 @@
+#include "sim/frame_pool.h"
+
+#include <new>
+
+namespace swapserve::sim::detail {
+
+namespace {
+
+constexpr std::size_t kGranularity = 32;
+constexpr std::size_t kMaxBucketBytes = 4096;
+constexpr std::size_t kBuckets = kMaxBucketBytes / kGranularity;
+
+// Freed blocks are at least 32 bytes, so the first word doubles as the
+// freelist link while the block is idle.
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+[[maybe_unused]] thread_local FreeBlock* t_free[kBuckets];
+thread_local FramePoolStats t_stats;
+
+constexpr std::size_t BucketOf(std::size_t bytes) {
+  return bytes <= kGranularity
+             ? 0
+             : (bytes + kGranularity - 1) / kGranularity - 1;
+}
+
+}  // namespace
+
+void* FrameAlloc(std::size_t bytes) {
+#if SWAPSERVE_FRAME_POOL
+  if (bytes <= kMaxBucketBytes) {
+    const std::size_t b = BucketOf(bytes);
+    if (FreeBlock* block = t_free[b]) {
+      t_free[b] = block->next;
+      ++t_stats.pool_hits;
+      return block;
+    }
+    ++t_stats.fresh_blocks;
+    return ::operator new((b + 1) * kGranularity);
+  }
+  ++t_stats.oversize;
+#endif
+  return ::operator new(bytes);
+}
+
+void FrameFree(void* p, [[maybe_unused]] std::size_t bytes) noexcept {
+#if SWAPSERVE_FRAME_POOL
+  if (bytes <= kMaxBucketBytes) {
+    const std::size_t b = BucketOf(bytes);
+    auto* block = static_cast<FreeBlock*>(p);
+    block->next = t_free[b];
+    t_free[b] = block;
+    return;
+  }
+#endif
+  ::operator delete(p);
+}
+
+FramePoolStats GetFramePoolStats() { return t_stats; }
+
+}  // namespace swapserve::sim::detail

@@ -1,0 +1,50 @@
+// Size-bucketed freelists for coroutine frame allocation.
+//
+// Every sim::Task<> frame (and the closure block a detached Spawn keeps
+// alive alongside it) used to be a fresh heap allocation — at billions of
+// simulated events the allocator becomes the hot path. Frames recycle
+// through per-thread freelists bucketed by size (32-byte granularity up
+// to 4 KiB; larger frames fall through to the global allocator). The
+// pool is thread-local because the simulator is
+// single-threaded by design, so no atomics are needed and two Simulations
+// on different threads never contend.
+//
+// Under AddressSanitizer the pool is compiled out (SWAPSERVE_FRAME_POOL=0)
+// and every frame goes to operator new/delete, so asan's poisoning still
+// observes full frame lifetimes and use-after-free of a dead frame is
+// reported instead of silently recycled.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(SWAPSERVE_FRAME_POOL)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SWAPSERVE_FRAME_POOL 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SWAPSERVE_FRAME_POOL 0
+#else
+#define SWAPSERVE_FRAME_POOL 1
+#endif
+#else
+#define SWAPSERVE_FRAME_POOL 1
+#endif
+#endif
+
+namespace swapserve::sim::detail {
+
+// Steady-state counters for the allocation-counting test hook: once a
+// workload's frame sizes have been seen, `fresh_blocks` must stop moving.
+struct FramePoolStats {
+  std::uint64_t pool_hits = 0;     // frames served from a freelist
+  std::uint64_t fresh_blocks = 0;  // frames that hit operator new
+  std::uint64_t oversize = 0;      // frames above the largest bucket
+};
+
+void* FrameAlloc(std::size_t bytes);
+void FrameFree(void* p, std::size_t bytes) noexcept;
+FramePoolStats GetFramePoolStats();
+
+}  // namespace swapserve::sim::detail

@@ -1,40 +1,140 @@
 #include "sim/simulation.h"
 
-#include <utility>
-
-#include "util/status.h"
-
 namespace swapserve::sim {
 
-void Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
-  SWAP_CHECK_MSG(delay.ns() >= 0, "cannot schedule into the past");
-  ScheduleAt(now_ + delay, std::move(fn));
+namespace detail {
+
+EventNodePool& EventNodePool::Local() {
+  thread_local EventNodePool pool;
+  return pool;
 }
 
-void Simulation::ScheduleAt(SimTime at, std::function<void()> fn) {
-  SWAP_CHECK_MSG(at >= now_, "cannot schedule before Now()");
-  events_.push(Event{at, next_seq_++, std::move(fn)});
+void EventNodePool::Grow() {
+  auto* chunk = new EventNode[kChunkSize];
+  chunks_.push_back(chunk);
+  ++chunk_allocs_;
+  // Link the fresh chunk as a freelist run, low address first.
+  for (std::uint32_t i = 0; i < kChunkSize - 1; ++i) {
+    chunk[i].next = &chunk[i + 1];
+  }
+  chunk[kChunkSize - 1].next = free_head_;
+  free_head_ = chunk;
+}
+
+EventNodePool::~EventNodePool() {
+  for (EventNode* chunk : chunks_) delete[] chunk;
+}
+
+}  // namespace detail
+
+Simulation::~Simulation() {
+  // Pending pooled payloads are destroyed without running (matching the old
+  // std::priority_queue teardown) and their nodes returned to the pool.
+  // Intrusive resume entries (ops == nullptr) live inside still-suspended
+  // coroutine frames that own themselves — nothing to do here.
+  const auto drain = [this](const Bucket& b) {
+    detail::TimerEntry* e = b.head;
+    while (e != nullptr) {
+      detail::TimerEntry* next = e->next;
+      if (e->ops != nullptr) e->ops->drop(this, e);
+      e = next;
+    }
+  };
+  drain(current_);
+  std::uint32_t levels = level_occ_;
+  while (levels != 0) {
+    const int level = std::countr_zero(levels);
+    levels &= levels - 1;
+    std::uint64_t digits = digit_occ_[level];
+    while (digits != 0) {
+      const int digit = std::countr_zero(digits);
+      digits &= digits - 1;
+      drain(slots_[level][digit].bucket);
+    }
+  }
+}
+
+void Simulation::Redistribute() {
+  // The lowest occupied digit of the lowest occupied level holds the
+  // globally next timestamps (radix-heap invariant); that bucket's minimum
+  // becomes the new current instant.
+  const int level = std::countr_zero(level_occ_);
+  const int digit = std::countr_zero(digit_occ_[level]);
+  Slot& slot = slots_[level][digit];
+  const std::int64_t min_at = slot.min;
+  const Bucket b = slot.bucket;
+  slot.bucket = Bucket{nullptr, nullptr};
+  digit_occ_[level] &= ~(std::uint64_t{1} << digit);
+  if (digit_occ_[level] == 0) level_occ_ &= ~(1u << level);
+  ref_ns_ = min_at;
+  now_ = SimTime(min_at);
+  if (b.head == b.tail) {
+    // Single event: it defines the bucket minimum, so it IS the new
+    // current instant — adopt the whole bucket without re-filing. This is
+    // the common shape for workloads with mostly-distinct timestamps.
+    current_ = b;
+    return;
+  }
+  // Walk in FIFO order, re-filing each event relative to the new
+  // reference. Equal timestamps share a bucket at every step, so relative
+  // order of same-instant events survives every redistribution. Events at
+  // min_at land in the current list; everything else lands at a strictly
+  // lower level (the whole bucket shares all digits above `level` and the
+  // digit at `level` itself, so re-keying against min_at shortens the
+  // differing prefix).
+  detail::TimerEntry* e = b.head;
+  while (e != nullptr) {
+    detail::TimerEntry* next = e->next;
+    Requeue(e);
+    e = next;
+  }
+}
+
+void Simulation::DispatchHead() {
+  detail::TimerEntry* e = current_.head;
+  const auto next = e->next;
+  current_.head = next;
+  // Warm the next same-instant entry while this payload executes.
+  if (next != nullptr) __builtin_prefetch(next);
+  ++processed_;
+  const detail::EntryOps* ops = e->ops;
+  if (ops == nullptr) {
+    // Intrusive resume: the entry sits inside the suspended coroutine's
+    // frame, so loading the handle already warmed the frame we jump into.
+    void* addr = static_cast<detail::ResumeEntry*>(e)->handle;
+    std::coroutine_handle<>::from_address(addr).resume();
+    return;
+  }
+  ops->run(this, e);  // moves the payload out, releases the node, invokes
 }
 
 SimTime Simulation::Run() {
-  while (!events_.empty()) {
-    // Copy out before pop: the callback may schedule new events.
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.at;
-    ++processed_;
-    ev.fn();
+  for (;;) {
+    if (current_.head == nullptr) {
+      if (level_occ_ == 0) break;
+      Redistribute();  // leaves at least one event in current_
+    }
+    DispatchHead();
   }
   return now_;
 }
 
 SimTime Simulation::RunUntil(SimTime deadline) {
-  while (!events_.empty() && events_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.at;
-    ++processed_;
-    ev.fn();
+  for (;;) {
+    // Peek the next event time: the current list is the instant being
+    // drained; otherwise the lowest occupied bucket's minimum is next.
+    if (current_.head != nullptr) {
+      if (SimTime(ref_ns_) > deadline) break;
+    } else if (level_occ_ != 0) {
+      const int level = std::countr_zero(level_occ_);
+      const SimTime next(
+          slots_[level][std::countr_zero(digit_occ_[level])].min);
+      if (next > deadline) break;
+      Redistribute();
+    } else {
+      break;
+    }
+    DispatchHead();
   }
   if (now_ < deadline) now_ = deadline;
   return now_;

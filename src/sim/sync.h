@@ -11,11 +11,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <string_view>
 #include <utility>
 
 #include "sim/simulation.h"
+#include "sim/small_ring.h"
 #include "util/status.h"
 
 namespace swapserve::sim {
@@ -185,7 +185,7 @@ class SimMutex {
 
   Simulation* sim_;
   bool locked_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  SmallRing<std::coroutine_handle<>> waiters_;
 };
 
 // Counting semaphore with multi-unit acquire. Strict FIFO: a large request
@@ -247,7 +247,7 @@ class SimSemaphore {
 
   Simulation* sim_;
   std::int64_t available_;
-  std::deque<Waiter> waiters_;
+  SmallRing<Waiter> waiters_;
 };
 
 // Reader-writer lock with strict FIFO fairness: a queued writer blocks
@@ -517,7 +517,7 @@ class SimRwLock {
   Simulation* sim_;
   bool writer_active_ = false;
   int readers_active_ = 0;
-  std::deque<Waiter> waiters_;
+  SmallRing<Waiter> waiters_;
 };
 
 // Manual-reset event. Wait() completes immediately while set.
@@ -553,13 +553,15 @@ class SimEvent {
 
  private:
   void WakeAll() {
-    for (auto h : waiters_) sim_->Post(h);
-    waiters_.clear();
+    while (!waiters_.empty()) {
+      sim_->Post(waiters_.front());
+      waiters_.pop_front();
+    }
   }
 
   Simulation* sim_;
   bool set_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  SmallRing<std::coroutine_handle<>> waiters_;
 };
 
 }  // namespace swapserve::sim

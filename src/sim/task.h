@@ -19,6 +19,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/frame_pool.h"
 #include "util/status.h"
 
 namespace swapserve::sim {
@@ -33,20 +34,56 @@ struct FinalAwaiter {
   template <typename Promise>
   std::coroutine_handle<> await_suspend(
       std::coroutine_handle<Promise> h) noexcept {
-    // Symmetric transfer to whoever awaited us, or stop if detached.
-    std::coroutine_handle<> cont = h.promise().continuation;
+    auto& p = h.promise();
+    if (p.cleanup != nullptr) {
+      // Detached root task: no awaiter will ever destroy this frame, so it
+      // destroys itself here (legal: the coroutine is suspended at its
+      // final suspend point) and then releases the spawner-owned closure.
+      auto* cleanup = p.cleanup;
+      void* closure = p.closure;
+      h.destroy();
+      cleanup(closure);
+      return std::noop_coroutine();
+    }
+    // Symmetric transfer to whoever awaited us.
+    std::coroutine_handle<> cont = p.continuation;
     return cont ? cont : std::noop_coroutine();
   }
   void await_resume() noexcept {}
 };
 
-struct PromiseBase {
+// Pooled frame allocation shared by every promise type in this file: a
+// promise-level operator new/delete makes the compiler route the whole
+// coroutine frame through the size-bucketed freelists in frame_pool.h
+// (compiled out under sanitizers — see that header).
+struct PooledFrame {
+  static void* operator new(std::size_t bytes) { return FrameAlloc(bytes); }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    FrameFree(p, bytes);
+  }
+};
+
+struct PromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+  // Detached-task hook, set only by Spawn(): non-null `cleanup` marks the
+  // task as a self-destroying root. At final suspend the frame destroys
+  // itself and calls cleanup(closure) to free the callable that produced
+  // it (the callable must outlive the coroutine; see Spawn).
+  void (*cleanup)(void*) = nullptr;
+  void* closure = nullptr;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
-  void unhandled_exception() noexcept { error = std::current_exception(); }
+  void unhandled_exception() noexcept {
+    if (cleanup != nullptr) {
+      // A detached simulation process must handle its own errors: there is
+      // no awaiter to rethrow to, matching the Core Guidelines stance that
+      // an unhandled error in a detached activity is a programming error.
+      std::terminate();
+    }
+    error = std::current_exception();
+  }
 };
 
 }  // namespace detail
@@ -131,46 +168,48 @@ class [[nodiscard]] Task<void> {
     if (p.error) std::rethrow_exception(p.error);
   }
 
+  // Give up ownership of the (still suspended) coroutine frame. Used by
+  // Spawn() to convert a lazy task into a detached, self-destroying one.
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, nullptr);
+  }
+
  private:
   explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
   std::coroutine_handle<promise_type> handle_;
 };
 
-namespace detail {
-
-// Eager, self-destroying driver for detached tasks.
-struct Detached {
-  struct promise_type {
-    Detached get_return_object() { return {}; }
-    std::suspend_never initial_suspend() noexcept { return {}; }
-    std::suspend_never final_suspend() noexcept { return {}; }
-    void return_void() {}
-    [[noreturn]] void unhandled_exception() {
-      // A detached simulation process must handle its own errors.
-      std::terminate();
-    }
-  };
-};
-
-}  // namespace detail
-
-// Launch a task as an independent simulation process. The task's frame is
-// owned by the driver coroutine and destroyed when the task completes.
+// Launch a task as an independent simulation process. The task frame is
+// marked detached and destroys itself at final suspend (FinalAwaiter) —
+// no driver coroutine, no second frame.
 //
 // LIFETIME: a coroutine is a member function of its closure/object, so the
 // object it was invoked on must outlive every suspension. Passing
 // `Spawn(lambda_temporary())` would dangle; use the callable overload below,
-// which moves the callable into the driver frame before invoking it.
+// which keeps the callable alive in a pooled block owned by the task.
 inline void Spawn(Task<> task) {
-  [](Task<> t) -> detail::Detached { co_await std::move(t); }(std::move(task));
+  auto h = task.release();
+  auto& p = h.promise();
+  p.cleanup = [](void*) {};  // marks detached; nothing extra to free
+  h.resume();                // start the lazy coroutine
 }
 
-// Preferred spawn form for lambdas: the callable is kept alive in the driver
-// coroutine's frame for the task's whole lifetime.
+// Preferred spawn form for lambdas: the callable is moved into a pooled
+// block that the task frame frees when it completes, so the closure outlives
+// every suspension of the coroutine it produced.
 template <typename F>
   requires std::is_invocable_r_v<Task<>, F&>
 void Spawn(F fn) {
-  [](F f) -> detail::Detached { co_await f(); }(std::move(fn));
+  auto* f = ::new (detail::FrameAlloc(sizeof(F))) F(std::move(fn));
+  Task<> task = (*f)();
+  auto h = task.release();
+  auto& p = h.promise();
+  p.cleanup = [](void* closure) {
+    static_cast<F*>(closure)->~F();
+    detail::FrameFree(closure, sizeof(F));
+  };
+  p.closure = f;
+  h.resume();
 }
 
 }  // namespace swapserve::sim

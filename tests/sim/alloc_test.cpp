@@ -1,0 +1,167 @@
+// Zero-steady-state-allocation gate for the event core (ISSUE 7 acceptance).
+//
+// The binary replaces the global allocator with a counting shim, runs a
+// mixed Post/Delay/Schedule/mutex/channel workload once to warm every pool
+// (event-node chunks, the coroutine frame freelists, waiter rings), then
+// runs the identical workload again and requires the
+// steady-state pass to perform ZERO heap allocations, alongside the event
+// core's own telemetry (Simulation::alloc_stats, GetFramePoolStats).
+//
+// Under sanitizers the counting shim and the frame pool are both compiled
+// out (asan must see real frame lifetimes), so only the pool-level
+// telemetry is asserted there; the strict global-new check runs in the
+// default tier-1 build where the fast path actually ships.
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "sim/channel.h"
+#include "sim/frame_pool.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define SWAPSERVE_COUNTING_NEW 1
+#endif
+#else
+#define SWAPSERVE_COUNTING_NEW 1
+#endif
+#endif
+#ifndef SWAPSERVE_COUNTING_NEW
+#define SWAPSERVE_COUNTING_NEW 0
+#endif
+
+namespace {
+std::uint64_t g_alloc_count = 0;
+}  // namespace
+
+#if SWAPSERVE_COUNTING_NEW
+void* operator new(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace swapserve::sim {
+namespace {
+
+// One workload wave: exercises every fast path the issue names — Post
+// (via Yield and mutex handoff), Delay, WaitUntil, inline Schedule
+// callables, channel send/recv. Bounded so no queue outgrows its warmed
+// capacity: channel buffer and waiter rings stay within inline storage.
+void RunWave(Simulation& sim) {
+  int done = 0;
+  for (int i = 0; i < 32; ++i) {
+    sim.Go([&sim, &done]() -> Task<> {
+      for (int k = 0; k < 8; ++k) {
+        co_await sim.Delay(Micros(1 + k % 3));
+        co_await sim.Yield();
+      }
+      co_await sim.WaitUntil(sim.Now() + Micros(5));
+      ++done;
+    });
+  }
+  SimMutex mu(sim);
+  for (int i = 0; i < 4; ++i) {
+    sim.Go([&sim, &mu, &done]() -> Task<> {
+      for (int k = 0; k < 16; ++k) {
+        auto guard = co_await mu.Acquire();
+        co_await sim.Delay(Micros(1));
+      }
+      ++done;
+    });
+  }
+  Channel<int> ch(sim, 4);
+  sim.Go([&ch]() -> Task<> {
+    for (int i = 0; i < 64; ++i) (void)co_await ch.Send(i);
+    ch.Close();
+  });
+  sim.Go([&ch, &done]() -> Task<> {
+    while (auto v = co_await ch.Recv()) done += *v != 0 ? 0 : 1;
+  });
+  sim.Schedule(Micros(3), [&done] { ++done; });
+  sim.Run();
+}
+
+TEST(AllocTest, SteadyStatePostDelayPathIsAllocationFree) {
+  Simulation sim;
+  RunWave(sim);  // warm pools: node chunks, frame buckets, ring capacities
+
+  const EventCoreStats warm_core = sim.alloc_stats();
+  const detail::FramePoolStats warm_frames = detail::GetFramePoolStats();
+  const std::uint64_t warm_allocs = g_alloc_count;
+  const std::uint64_t warm_processed = sim.processed_events();
+
+  RunWave(sim);  // steady state: must not touch the heap at all
+
+  const EventCoreStats steady_core = sim.alloc_stats();
+  const detail::FramePoolStats steady_frames = detail::GetFramePoolStats();
+  const std::uint64_t steady_allocs = g_alloc_count;
+
+  EXPECT_GT(sim.processed_events(), warm_processed);
+  EXPECT_EQ(steady_core.node_chunk_allocs, warm_core.node_chunk_allocs);
+  EXPECT_EQ(steady_core.oversized_payloads, warm_core.oversized_payloads);
+#if SWAPSERVE_FRAME_POOL
+  EXPECT_EQ(steady_frames.fresh_blocks, warm_frames.fresh_blocks);
+  EXPECT_EQ(steady_frames.oversize, warm_frames.oversize);
+  EXPECT_GT(steady_frames.pool_hits, warm_frames.pool_hits);
+#else
+  (void)warm_frames;
+  (void)steady_frames;
+#endif
+#if SWAPSERVE_COUNTING_NEW && SWAPSERVE_FRAME_POOL && !SWAPSERVE_LOCK_DEBUG
+  EXPECT_EQ(steady_allocs, warm_allocs)
+      << "steady-state Post/Delay path performed heap allocations";
+#else
+  (void)warm_allocs;
+  (void)steady_allocs;
+#endif
+}
+
+TEST(AllocTest, ScheduleResumeStoresHandleWithoutTypeErasure) {
+  // A Delay-suspended coroutine must not allocate per event once warm:
+  // back-to-back delays reuse one pooled node (freed before resume).
+  Simulation sim;
+  int hops = 0;
+  sim.Go([&sim, &hops]() -> Task<> {
+    for (int i = 0; i < 4096; ++i) {
+      co_await sim.Delay(Micros(1));
+      ++hops;
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(hops, 4096);
+  const EventCoreStats warm = sim.alloc_stats();
+  sim.Go([&sim, &hops]() -> Task<> {
+    for (int i = 0; i < 4096; ++i) {
+      co_await sim.Delay(Micros(1));
+      ++hops;
+    }
+  });
+  const std::uint64_t before_allocs = g_alloc_count;
+  sim.Run();
+  const EventCoreStats steady = sim.alloc_stats();
+  EXPECT_EQ(hops, 8192);
+  EXPECT_EQ(steady.node_chunk_allocs, warm.node_chunk_allocs);
+#if SWAPSERVE_COUNTING_NEW && SWAPSERVE_FRAME_POOL && !SWAPSERVE_LOCK_DEBUG
+  EXPECT_EQ(g_alloc_count, before_allocs);
+#else
+  (void)before_allocs;
+#endif
+}
+
+}  // namespace
+}  // namespace swapserve::sim

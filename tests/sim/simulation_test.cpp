@@ -1,9 +1,13 @@
 #include "sim/simulation.h"
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "sim/task.h"
 #include "sim/time.h"
 
 namespace swapserve::sim {
@@ -83,6 +87,96 @@ TEST(SimulationTest, ProcessedEventCount) {
   for (int i = 0; i < 7; ++i) sim.Schedule(Seconds(i), [] {});
   sim.Run();
   EXPECT_EQ(sim.processed_events(), 7u);
+}
+
+TEST(SimulationTest, WaitUntilInThePastResumesImmediately) {
+  Simulation sim;
+  std::vector<double> resumed_at;
+  std::uint64_t events_after_first_wait = 0;
+  sim.Go([&]() -> Task<> {
+    co_await sim.Delay(Seconds(5));
+    // Deadline already passed: the awaiter is constructed with a clamped
+    // zero duration (never a negative SimDuration) and resumes inline
+    // without touching the event queue.
+    const std::uint64_t before = sim.processed_events();
+    co_await sim.WaitUntil(SimTime(0) + Seconds(3));
+    events_after_first_wait = sim.processed_events() - before;
+    resumed_at.push_back(sim.Now().ToSeconds());
+    co_await sim.WaitUntil(sim.Now());  // boundary: deadline == Now()
+    resumed_at.push_back(sim.Now().ToSeconds());
+  });
+  sim.Run();
+  EXPECT_EQ(resumed_at, (std::vector<double>{5.0, 5.0}));
+  EXPECT_EQ(events_after_first_wait, 0u);
+}
+
+TEST(SimulationTest, WaitUntilFutureDeadline) {
+  Simulation sim;
+  double resumed_at = -1;
+  sim.Go([&]() -> Task<> {
+    co_await sim.WaitUntil(SimTime(0) + Seconds(7));
+    resumed_at = sim.Now().ToSeconds();
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(resumed_at, 7.0);
+}
+
+TEST(SimulationTest, SameInstantTimerBeatsLaterPostedEvent) {
+  // Events already in the timer heap for time T must fire before ready-ring
+  // events enqueued *at* time T: global order is (at, seq) and the heap
+  // entries carry smaller sequence numbers.
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(1), [&] {
+    order.push_back(0);
+    sim.Schedule(SimDuration(0), [&] { order.push_back(10); });
+    sim.Schedule(SimDuration(0), [&] { order.push_back(11); });
+  });
+  for (int i = 1; i <= 4; ++i) {
+    sim.Schedule(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 10, 11}));
+}
+
+TEST(SimulationTest, YieldRunsBehindQueuedSameInstantEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Go([&]() -> Task<> {
+    order.push_back(0);
+    sim.Schedule(SimDuration(0), [&] { order.push_back(1); });
+    co_await sim.Yield();
+    order.push_back(2);
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulationTest, OversizedCallablesStillFire) {
+  // Payloads too big for the inline buffer take the heap fallback and are
+  // counted; behavior is otherwise identical.
+  Simulation sim;
+  std::array<std::uint64_t, 16> big{};
+  big[0] = 7;
+  big[15] = 35;
+  std::uint64_t sum = 0;
+  sim.Schedule(Millis(1), [big, &sum] { sum = big[0] + big[15]; });
+  sim.Run();
+  EXPECT_EQ(sum, 42u);
+  EXPECT_EQ(sim.alloc_stats().oversized_payloads, 1u);
+}
+
+TEST(SimulationTest, PendingEventsDroppedOnDestruction) {
+  // Payload destructors must run when a Simulation is destroyed with
+  // events still queued (in both the ring and the heap).
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    Simulation sim;
+    sim.Schedule(SimDuration(0), [t = token] { (void)t; });
+    sim.Schedule(Seconds(1), [t = std::move(token)] { (void)t; });
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 TEST(SimulationTest, ZeroDelayFiresAtCurrentTime) {
