@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run the node-failover gates: the functional failover suite, the 100-seed
+# node-failure chaos-property suite (both ctest label `cluster`), and the
+# golden-trace suite (fault-free runs must stay byte-identical — the node
+# fault sweep draws nothing when the plan is unarmed), under the default
+# Release build, then the asan preset, then the tsan preset. CI-friendly:
+# exits non-zero on any configure, build, or test failure.
+#
+# The failover benchmark (repair on vs off under a kill-rate sweep, with
+# its own repair-must-win acceptance CHECK) is a bench binary, not a test:
+#   cmake --build build --target bench_node_failover
+#   ./build/bench/bench_node_failover
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" \
+  --target failover_test property_node_failover_test golden_trace_test
+ctest --test-dir build -L "cluster|golden" --output-on-failure "$@"
+
+cmake --preset asan >/dev/null
+cmake --build build-asan -j "$(nproc)" \
+  --target failover_test property_node_failover_test golden_trace_test
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir build-asan -L "cluster|golden" --output-on-failure "$@"
+
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$(nproc)" \
+  --target failover_test property_node_failover_test golden_trace_test
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+ctest --test-dir build-tsan -L "cluster|golden" --output-on-failure "$@"
+
+echo "failover: OK (default + asan + tsan)"

@@ -154,7 +154,14 @@ sim::Task<Result<SwapOutResult>> CheckpointEngine::SwapOut(
     obs::Observe(obs_, kPhaseSeconds, {{"phase", "d2h"}},
                  (sim_.Now() - phase_start).ToSeconds());
   }
-  SWAP_CHECK(req.process->MarkCheckpointed().ok());
+  if (!req.process->MarkCheckpointed().ok()) {
+    // A node crash reset the process to running while the D2H drain was on
+    // the wire. The staged bytes are torn; drop them so the snapshot cannot
+    // survive as a phantom copy, and leave recovery to the crash handler.
+    SWAP_WARN_IF_ERROR(DropSnapshot(*put), "ckpt");
+    co_return Unavailable("swap-out " + req.owner +
+                          " aborted: process crashed mid-checkpoint");
+  }
 
   // 4. Whatever the pipeline has not already released (everything, in the
   //    serial case) is freed by the driver on every group member.

@@ -147,6 +147,22 @@ Status SnapshotStore::MarkFetched(SnapshotId id) {
   return Status::Ok();
 }
 
+Status SnapshotStore::MarkLost(SnapshotId id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end()) {
+    return NotFound("snapshot " + std::to_string(id));
+  }
+  if (it->second.tier != SnapshotTier::kHost) {
+    return FailedPrecondition("snapshot " + std::to_string(id) +
+                              " is not host-resident");
+  }
+  it->second.tier = SnapshotTier::kRemote;
+  used_ -= it->second.dirty_bytes;
+  remote_bytes_ += it->second.dirty_bytes;
+  PublishGauges();
+  return Status::Ok();
+}
+
 Status SnapshotStore::Verify(SnapshotId id) const {
   auto it = snapshots_.find(id);
   if (it == snapshots_.end()) {

@@ -84,6 +84,11 @@ class SnapshotStore {
   // A remote placeholder whose payload just landed over the fabric becomes
   // host-resident; charges the host budget like MarkPromoted.
   [[nodiscard]] Status MarkFetched(SnapshotId id);
+  // The inverse of MarkFetched: a host-resident payload whose RAM vanished
+  // (the owning node crashed) degrades back to a metadata-only placeholder
+  // that a later fetch can re-materialize. Frees the host budget; NVMe
+  // copies survive a crash and are not Lost.
+  [[nodiscard]] Status MarkLost(SnapshotId id);
 
   Bytes used() const { return used_; }
   Bytes budget() const { return budget_; }

@@ -70,6 +70,31 @@ ClusterServe::ClusterServe(sim::Simulation& sim, core::Config config,
             return replicator_->EstimatedFetchTime(dst, id);
           });
     }
+    if (config_.cluster.heartbeat_interval_s > 0) {
+      HealthMonitor::Options hb;
+      hb.interval = sim::Seconds(config_.cluster.heartbeat_interval_s);
+      hb.suspect_after = sim::Seconds(config_.cluster.suspect_after_s);
+      hb.down_after = sim::Seconds(config_.cluster.down_after_s);
+      monitor_ =
+          std::make_unique<HealthMonitor>(sim_, node_ptrs_, *fabric_, hb);
+      monitor_->SetDownHandler([this](int id) { FailOverNode(id); });
+      monitor_->SetRejoinHandler([this](int id) { RejoinNode(id); });
+    }
+    if (config_.cluster.repair_concurrency > 0) {
+      ReplicationRepairer::Options rp;
+      rp.replicate = config_.cluster.replicate;
+      rp.concurrency = config_.cluster.repair_concurrency;
+      rp.interval = sim::Seconds(config_.cluster.repair_interval_s);
+      repairer_ = std::make_unique<ReplicationRepairer>(
+          sim_, node_ptrs_, *replicator_, config_.models, rp);
+    }
+    pair_owner_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        pair_owner_[static_cast<std::size_t>(i)].push_back(
+            nodes_[i]->name() + ":" + nodes_[j]->name());
+      }
+    }
   }
 }
 
@@ -81,6 +106,7 @@ sim::Task<Status> ClusterServe::Initialize() {
     SWAP_CO_RETURN_IF_ERROR(InstallPlaceholders());
     StartReplication();
     if (config_.cluster.migration) StartMigrationLoop();
+    StartFailureDetection();
   }
   initialized_ = true;
   co_return Status::Ok();
@@ -118,13 +144,10 @@ void ClusterServe::StartReplication() {
     // Walk the ring from a per-model offset so replicas spread across the
     // fleet instead of piling onto the lowest node ids (which would leave
     // the rest of the fleet placeholder-only and defeat locality routing).
-    const int offset =
-        1 + static_cast<int>(fault::StableHash(m.model_id) %
-                             static_cast<std::uint64_t>(n - 1));
-    for (int step = 0; step < n; ++step) {
+    // The repairer retraces the same order when a holder dies.
+    for (int dst_id : ReplicaRingOrder(m.model_id, m.node, n)) {
       if (holders >= copies) break;
-      Node* node = nodes_[(m.node + offset + step) % n].get();
-      if (node->id() == m.node) continue;
+      Node* node = nodes_[dst_id].get();
       core::Backend* standby = node->serve().backend(m.model_id);
       if (standby == nullptr || !standby->has_snapshot) continue;
       ++holders;
@@ -207,6 +230,14 @@ sim::Task<> ClusterServe::MigrationSweep() {
       }
     }
     if (current < 0) continue;  // swapped out everywhere: routing decides
+    // A non-healthy source cannot be drained safely: a dead node's engine
+    // is gone and a partitioned one cannot stream its checkpoint out —
+    // failover, not migration, handles those. (Destinations are covered by
+    // the placement score, which prices suspect/down nodes ineligible.)
+    if (!nodes_[current]->alive() ||
+        nodes_[current]->membership() != NodeState::kHealthy) {
+      continue;
+    }
     core::Backend* backend = nodes_[current]->serve().backend(m.model_id);
     // A model with its own demand is mid-burst; migrating now would stall
     // the very requests the move is meant to help.
@@ -323,9 +354,240 @@ sim::Task<> ClusterServe::MigrateModel(std::string model, int from, int to) {
   co_return;
 }
 
+void ClusterServe::StartFailureDetection() {
+  if (monitor_ != nullptr) {
+    // The node.* sweep rides the heartbeat timer (one wakeup per beat,
+    // membership round first) instead of spawning its own coroutine.
+    monitor_->SetBeatHandler([this] { EvaluateNodeFaults(); });
+    monitor_->Start();
+  }
+  if (repairer_ != nullptr) repairer_->Start();
+}
+
+// One evaluation round of the node.* fault points, on the heartbeat
+// cadence. For node.crash and node.partition the rule's stall_s is the
+// fault's *duration* (outage before the reboot starts / partition length),
+// not a pre-delay; node.partition rules with fail=true blackhole the pair,
+// stall-only rules degrade it. Each point draws from the involved node's
+// own derived stream, so fleets replay deterministically per seed and an
+// unarmed plan draws nothing.
+void ClusterServe::EvaluateNodeFaults() {
+  const int n = static_cast<int>(nodes_.size());
+  const sim::SimDuration default_duration =
+      sim::Seconds(config_.cluster.node_restart_s);
+  for (int i = 0; i < n; ++i) {
+    if (!nodes_[i]->alive()) continue;
+    if (!nodes_[i]->serve().fault_injector().armed()) continue;
+    fault::FaultDecision d =
+        fault::Evaluate(&nodes_[i]->serve().fault_injector(), "node.crash",
+                        nodes_[i]->name());
+    if (!d.status.ok()) {
+      KillNode(i, d.stall.ns() > 0 ? d.stall : default_duration);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!nodes_[i]->serve().fault_injector().armed()) continue;
+    for (int j = i + 1; j < n; ++j) {
+      fault::FaultDecision d = fault::Evaluate(
+          &nodes_[i]->serve().fault_injector(), "node.partition",
+          pair_owner_[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(j - i - 1)]);
+      if (d.status.ok() && d.stall.ns() == 0) continue;
+      const sim::SimDuration duration =
+          d.stall.ns() > 0 ? d.stall : default_duration;
+      // fail=true cuts the pair; a stall-only rule degrades it (an 8x
+      // slowdown — a congested or flapping path rather than a dead one).
+      PartitionNodes(i, j, duration, d.status.ok() ? 8.0 : 0.0);
+    }
+  }
+}
+
+void ClusterServe::KillNode(int id, sim::SimDuration outage) {
+  Node& node = *nodes_[id];
+  if (!node.alive()) return;  // already down; the pending reboot stands
+  node.Crash();
+  sim_.Go([this, id, outage]() -> sim::Task<> {
+    co_await sim_.Delay(outage);
+    // The machine tries to come back; the node.restart point models
+    // reboots that fail (bad disk, fsck loop) — each failure waits another
+    // restart interval and tries again.
+    while (true) {
+      fault::FaultDecision d =
+          fault::Evaluate(&nodes_[id]->serve().fault_injector(),
+                          "node.restart", nodes_[id]->name());
+      if (d.stall.ns() > 0) co_await sim_.Delay(d.stall);
+      if (d.status.ok()) break;
+      ++node_restart_failures_;
+      SWAP_LOG(kWarning, "cluster")
+          << nodes_[id]->name()
+          << " reboot failed: " << d.status.ToString();
+      co_await sim_.Delay(sim::Seconds(config_.cluster.node_restart_s));
+    }
+    nodes_[id]->Boot();
+    // Membership stays kDown until the monitor hears heartbeats again;
+    // RejoinNode (re-adopt / re-fetch) runs off that rejoin signal.
+  });
+}
+
+void ClusterServe::PartitionNodes(int a, int b, sim::SimDuration duration,
+                                  double degrade) {
+  SWAP_CHECK(fabric_ != nullptr);
+  fabric_->Partition(a, b, duration, degrade);
+  obs::Instant(&nodes_[a]->serve().obs(), "node.partition", "cluster",
+               nodes_[a]->name(),
+               {{"peer", nodes_[b]->name()},
+                {"mode", degrade == 0.0 ? "blackhole" : "degrade"},
+                {"duration_s", std::to_string(duration.ToSeconds())}});
+  SWAP_LOG(kWarning, "cluster")
+      << "partition " << nodes_[a]->name() << " <-> " << nodes_[b]->name()
+      << " for " << duration.ToString()
+      << (degrade == 0.0 ? " (blackhole)" : " (degraded)");
+}
+
+// The monitor just declared `id` down. Membership is already kDown, so the
+// placement score refuses the node; everything here is synchronous (no
+// awaits), so no request can slip into the drained queues mid-failover.
+void ClusterServe::FailOverNode(int id) {
+  Node& down = *nodes_[id];
+  ++failovers_;
+  obs::Span span = obs::StartSpan(&down.serve().obs(), "cluster.failover",
+                                  "cluster", down.name());
+  int moved = 0;
+  int dropped = 0;
+  for (core::Backend* backend : down.serve().backends()) {
+    while (auto queued = backend->queue->TryRecv()) {
+      core::QueuedRequest item = std::move(*queued);
+      Result<int> target = placement_->Pick(node_ptrs_, backend->name());
+      if (target.ok() && *target != id &&
+          nodes_[*target]
+              ->serve()
+              .backend(backend->name())
+              ->queue->TrySend(item)) {
+        ++moved;
+        continue;
+      }
+      // No survivor can take it (every replica missing/quarantined, or the
+      // target queue is full): the loss budget absorbs it, terminally.
+      ++dropped;
+      core::ResponseChunk error;
+      error.kind = core::ResponseChunk::Kind::kError;
+      error.error = "request dropped: " + down.name() + " declared down";
+      (void)item.response->TrySend(std::move(error));
+      item.response->Close();
+    }
+  }
+  redispatched_ += static_cast<std::uint64_t>(moved);
+  redispatch_dropped_ += static_cast<std::uint64_t>(dropped);
+  span.AddArg("redispatched", std::to_string(moved));
+  span.AddArg("dropped", std::to_string(dropped));
+  obs::IncCounter(&down.serve().obs(), "swapserve_cluster_failover_total",
+                  {{"node", down.name()}});
+  SWAP_LOG(kWarning, "cluster")
+      << down.name() << " failover: " << moved << " request(s) re-dispatched, "
+      << dropped << " dropped";
+
+  // Promote this node's home models on the best survivor so the fleet
+  // keeps serving them warm instead of paying a swap-in on first demand.
+  for (const core::ModelEntry& m : config_.models) {
+    if (m.node != id) continue;
+    bool running_elsewhere = false;
+    for (Node* peer : node_ptrs_) {
+      if (peer->id() == id || !peer->alive()) continue;
+      core::Backend* b = peer->serve().backend(m.model_id);
+      if (b != nullptr &&
+          b->engine->state() == engine::BackendState::kRunning) {
+        running_elsewhere = true;
+        break;
+      }
+    }
+    if (running_elsewhere) continue;
+    const std::string model = m.model_id;
+    sim_.Go([this, model, id]() -> sim::Task<> {
+      co_await PromoteStandby(model, id);
+    });
+  }
+
+  if (repairer_ != nullptr) (void)repairer_->ScanOnce();
+}
+
+sim::Task<> ClusterServe::PromoteStandby(std::string model, int avoid) {
+  Result<int> target = placement_->Pick(node_ptrs_, model);
+  if (!target.ok() || *target == avoid) co_return;
+  Node& node = *nodes_[*target];
+  core::Backend* backend = node.serve().backend(model);
+  if (backend == nullptr ||
+      backend->engine->state() == engine::BackendState::kRunning) {
+    co_return;
+  }
+  ++standby_promotions_;
+  obs::Instant(&node.serve().obs(), "cluster.promote", "cluster",
+               node.name(), {{"model", model}});
+  Result<sim::SimRwLock::SharedGuard> pin =
+      co_await node.serve().scheduler().EnsureRunningAndPin(*backend);
+  if (!pin.ok()) {
+    SWAP_LOG(kWarning, "cluster")
+        << "standby promotion of " << model << " on " << node.name()
+        << " failed: " << pin.status().ToString();
+    co_return;
+  }
+  pin->Release();
+  SWAP_LOG(kInfo, "cluster")
+      << "promoted standby " << model << " on " << node.name();
+}
+
+// The monitor heard `id` again (reboot finished, or a partition healed).
+// NVMe-journaled and still-host-resident snapshots are simply re-adopted
+// (nothing to do — the store kept them); host payloads the crash degraded
+// to placeholders are re-fetched from surviving replicas by the repair
+// scan; a checkpoint with no copy left anywhere falls back to a cold
+// start, the only honest option.
+void ClusterServe::RejoinNode(int id) {
+  Node& node = *nodes_[id];
+  for (core::Backend* backend : node.serve().backends()) {
+    if (!backend->has_snapshot) continue;
+    Result<ckpt::Snapshot> snap =
+        node.serve().snapshot_store().Get(backend->snapshot);
+    if (!snap.ok() || snap->tier != ckpt::SnapshotTier::kRemote) continue;
+    bool running_somewhere = false;
+    for (Node* peer : node_ptrs_) {
+      core::Backend* b = peer->serve().backend(backend->name());
+      if (peer->alive() && b != nullptr &&
+          b->engine->state() == engine::BackendState::kRunning) {
+        running_somewhere = true;
+        break;
+      }
+    }
+    if (running_somewhere ||
+        replicator_->HasPayloadSource(id, backend->name())) {
+      continue;  // the repair scan (or on-demand fetch) covers it
+    }
+    // Total checkpoint loss: every payload copy died with its host(s).
+    // Convert to a cold start so the supervisor restores availability.
+    SWAP_LOG(kWarning, "cluster")
+        << backend->name() << ": every checkpoint copy lost; "
+        << node.name() << " falls back to cold start";
+    obs::Instant(&node.serve().obs(), "cluster.checkpoint_lost", "cluster",
+                 node.name(), {{"model", backend->name()}});
+    SWAP_WARN_IF_ERROR(node.serve().snapshot_store().Drop(backend->snapshot),
+                       "cluster");
+    backend->has_snapshot = false;
+    if (backend->engine->state() != engine::BackendState::kCrashed) {
+      backend->engine->MarkCrashed("checkpoint lost with node crash");
+    }
+  }
+  if (repairer_ != nullptr) (void)repairer_->ScanOnce();
+}
+
 void ClusterServe::Shutdown() {
   migration_running_ = false;
-  for (auto& node : nodes_) node->serve().Shutdown();
+  if (monitor_ != nullptr) monitor_->Stop();
+  if (repairer_ != nullptr) repairer_->Stop();
+  for (auto& node : nodes_) {
+    // A node still powered off at shutdown would leave its parked workers
+    // suspended forever; wake them so the queues drain to terminal states.
+    node->serve().ResumeWorkers();
+    node->serve().Shutdown();
+  }
 }
 
 }  // namespace swapserve::cluster

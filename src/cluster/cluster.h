@@ -12,11 +12,18 @@
 //     that can start serving it soonest;
 //   - optional live swap migration: a periodic sweep re-scores resident
 //     models and moves one (drain -> checkpoint -> fetch -> re-dispatch
-//     queued requests) when another node wins by the hysteresis margin.
+//     queued requests) when another node wins by the hysteresis margin;
+//   - node-level fault domains and self-healing: a heartbeat-driven
+//     HealthMonitor classifies nodes healthy/suspect/down/rejoining; a
+//     node declared down has its queued requests drained and re-dispatched
+//     to survivors, its home models promoted from replicated snapshots,
+//     and its replica holdings re-replicated by the ReplicationRepairer;
+//     the node.crash / node.partition / node.restart fault points inject
+//     whole-machine outages and fabric partitions from the config plan.
 //
 // With cluster.nodes == 1 (the default) none of this exists: no fabric,
-// no replicator, no migration loop, Accept is a pass-through — the event
-// stream is byte-identical to a plain SwapServe (golden-gated).
+// no replicator, no migration loop, no monitor, Accept is a pass-through —
+// the event stream is byte-identical to a plain SwapServe (golden-gated).
 
 #pragma once
 
@@ -26,8 +33,10 @@
 #include <vector>
 
 #include "cluster/fabric.h"
+#include "cluster/health.h"
 #include "cluster/node.h"
 #include "cluster/placement.h"
+#include "cluster/repair.h"
 #include "cluster/replication.h"
 #include "core/config.h"
 #include "core/swap_serve.h"
@@ -70,11 +79,37 @@ class ClusterServe {
   Fabric* fabric() { return fabric_.get(); }
   SnapshotReplicator* replicator() { return replicator_.get(); }
   PlacementPolicy* placement() { return placement_.get(); }
+  // Null with a single node or cluster.heartbeat_interval_s == 0.
+  HealthMonitor* monitor() { return monitor_.get(); }
+  // Null with a single node or cluster.repair_concurrency == 0.
+  ReplicationRepairer* repairer() { return repairer_.get(); }
+
+  // --- fault domain controls (tests, benches, and the node.* sweep) -----
+  // Power node `id` off now and back on after `outage` (the reboot then
+  // retries every node_restart_s while the node.restart point keeps
+  // failing it). No-op if the node is already down.
+  void KillNode(int id, sim::SimDuration outage);
+  // Cut (degrade == 0) or slow (degrade > 1) the pair for `duration`.
+  void PartitionNodes(int a, int b, sim::SimDuration duration,
+                      double degrade = 0.0);
+
   std::uint64_t migrations() const { return migrations_; }
   // Migrations the sweep decided on but a cluster.migrate fault aborted
   // before the drain (the model stayed put; a later sweep may retry).
   std::uint64_t migration_aborts() const { return migration_aborts_; }
   std::uint64_t routed() const { return routed_; }
+  // Failover accounting: nodes declared down, queued requests moved to
+  // survivors, requests dropped because no survivor could take them (each
+  // answered with a terminal error chunk — accepted == completed + failed
+  // + redispatch_dropped is the fleet balance invariant), standby
+  // promotions spawned, and reboots the node.restart point failed.
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t redispatched() const { return redispatched_; }
+  std::uint64_t redispatch_dropped() const { return redispatch_dropped_; }
+  std::uint64_t standby_promotions() const { return standby_promotions_; }
+  std::uint64_t node_restart_failures() const {
+    return node_restart_failures_;
+  }
   bool initialized() const { return initialized_; }
 
  private:
@@ -83,6 +118,15 @@ class ClusterServe {
   void StartMigrationLoop();
   sim::Task<> MigrationSweep();
   sim::Task<> MigrateModel(std::string model, int from, int to);
+  void StartFailureDetection();
+  // One node.* evaluation round, run from the monitor beat handler.
+  void EvaluateNodeFaults();
+  // Monitor handlers: drain + re-dispatch a down node's queues, promote
+  // its home models on survivors, kick repair; re-adopt/re-fetch when it
+  // rejoins (converting totally-lost checkpoints to cold starts).
+  void FailOverNode(int id);
+  void RejoinNode(int id);
+  sim::Task<> PromoteStandby(std::string model, int avoid);
 
   sim::Simulation& sim_;
   core::Config config_;
@@ -91,11 +135,21 @@ class ClusterServe {
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<SnapshotReplicator> replicator_;
   std::unique_ptr<PlacementPolicy> placement_;
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::unique_ptr<ReplicationRepairer> repairer_;
+  // Pair owner names ("nodeI:nodeJ", i < j) precomputed so the per-beat
+  // node.partition evaluation allocates nothing.
+  std::vector<std::vector<std::string>> pair_owner_;
   bool migration_running_ = false;
   bool initialized_ = false;
   std::uint64_t migrations_ = 0;
   std::uint64_t migration_aborts_ = 0;
   std::uint64_t routed_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t redispatched_ = 0;
+  std::uint64_t redispatch_dropped_ = 0;
+  std::uint64_t standby_promotions_ = 0;
+  std::uint64_t node_restart_failures_ = 0;
 };
 
 }  // namespace swapserve::cluster

@@ -2,7 +2,24 @@
 
 #include <utility>
 
+#include "obs/observability.h"
+#include "util/log.h"
+
 namespace swapserve::cluster {
+
+std::string_view NodeStateName(NodeState s) {
+  switch (s) {
+    case NodeState::kHealthy:
+      return "healthy";
+    case NodeState::kSuspect:
+      return "suspect";
+    case NodeState::kDown:
+      return "down";
+    case NodeState::kRejoining:
+      return "rejoining";
+  }
+  return "unknown";
+}
 
 Node::Node(sim::Simulation& sim, int id, int gpu_count, core::Config config,
            const model::ModelCatalog& catalog,
@@ -27,5 +44,49 @@ Node::Node(sim::Simulation& sim, int id, int gpu_count, core::Config config,
 }
 
 std::size_t Node::Pressure() { return serve_->InFlight(); }
+
+void Node::Crash() {
+  SWAP_CHECK_MSG(alive_, name_ + " crashed while already dead");
+  alive_ = false;
+  ++crashes_;
+  if (core::EngineSupervisor* sup = serve_->supervisor()) sup->Pause();
+  serve_->PauseWorkers();
+  for (core::Backend* backend : serve_->backends()) {
+    const engine::BackendState state = backend->engine->state();
+    if (state == engine::BackendState::kSwappedOut) {
+      // The engine process was already checkpointed away; what dies with
+      // the machine is the host RAM holding its payload. With a bounded
+      // host cache the tier manager journals payloads to NVMe, which
+      // survives a power cycle, so only the unbounded-cache path loses the
+      // copy.
+      if (backend->has_snapshot && serve_->tier_manager() == nullptr) {
+        Result<ckpt::Snapshot> snap =
+            serve_->snapshot_store().Get(backend->snapshot);
+        if (snap.ok() && snap->tier == ckpt::SnapshotTier::kHost) {
+          SWAP_WARN_IF_ERROR(
+              serve_->snapshot_store().MarkLost(backend->snapshot), "node");
+        }
+      }
+      continue;
+    }
+    if (state != engine::BackendState::kUninitialized &&
+        state != engine::BackendState::kStopped &&
+        state != engine::BackendState::kCrashed) {
+      backend->engine->MarkCrashed(name_ + " lost power");
+    }
+  }
+  obs::Instant(&serve_->obs(), "node.crash", "cluster", name_, {});
+  SWAP_LOG(kWarning, "cluster") << name_ << " crashed (power off)";
+}
+
+void Node::Boot() {
+  SWAP_CHECK_MSG(!alive_, name_ + " booted while already alive");
+  alive_ = true;
+  ++boots_;
+  serve_->ResumeWorkers();
+  if (core::EngineSupervisor* sup = serve_->supervisor()) sup->Resume();
+  obs::Instant(&serve_->obs(), "node.boot", "cluster", name_, {});
+  SWAP_LOG(kInfo, "cluster") << name_ << " booted (power on)";
+}
 
 }  // namespace swapserve::cluster

@@ -6,11 +6,22 @@
 // the single-machine test fixture exactly (same device names, same
 // ordering), so a one-node cluster schedules the same events as a plain
 // SwapServe and the golden traces stay byte-identical.
+//
+// A node is also the fleet's fault domain: Crash() powers the machine off
+// (engines crash, host-RAM snapshot payloads degrade to placeholders,
+// workers and supervisor park) and Boot() powers it back on. The
+// `membership` field is the fleet's *belief* about the node — written by
+// cluster::HealthMonitor from heartbeat evidence, read by placement and
+// repair — and is deliberately distinct from `alive`, the ground truth:
+// a partitioned node is alive yet declared down, and a freshly crashed
+// one stays kHealthy until suspicion accrues.
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "container/runtime.h"
@@ -22,6 +33,12 @@
 #include "sim/simulation.h"
 
 namespace swapserve::cluster {
+
+// Fleet-side membership belief about a node (healthy -> suspect -> down ->
+// rejoining -> healthy). Driven by cluster::HealthMonitor.
+enum class NodeState { kHealthy, kSuspect, kDown, kRejoining };
+
+std::string_view NodeStateName(NodeState s);
 
 class Node {
  public:
@@ -44,6 +61,30 @@ class Node {
   // this node — the queue-pressure term of the placement score.
   std::size_t Pressure();
 
+  // --- fault domain ------------------------------------------------------
+  // Ground truth: is the machine powered on? (Distinct from `membership`,
+  // the fleet's heartbeat-derived belief.)
+  bool alive() const { return alive_; }
+  NodeState membership() const { return membership_; }
+  void set_membership(NodeState s) { membership_ = s; }
+
+  // Power the machine off: every resident engine crashes (device memory
+  // freed, in-flight generations abort through the restart epoch),
+  // host-RAM snapshot payloads degrade to kRemote placeholders (the RAM is
+  // gone; NVMe copies survive), and the workers + supervisor park so the
+  // dead machine consumes nothing. Queued requests stay in their channels
+  // for the fleet's failover drain.
+  void Crash();
+
+  // Power the machine back on: workers and supervisor resume; the
+  // supervisor's next scan restarts crashed engines in place. Snapshot
+  // re-fetch is the fleet's job (ClusterServe::RejoinNode) — the node
+  // itself only reboots.
+  void Boot();
+
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t boots() const { return boots_; }
+
  private:
   int id_;
   std::string name_;
@@ -52,6 +93,10 @@ class Node {
   container::ContainerRuntime runtime_;
   std::vector<std::unique_ptr<hw::GpuDevice>> gpus_;
   std::unique_ptr<core::SwapServe> serve_;
+  bool alive_ = true;
+  NodeState membership_ = NodeState::kHealthy;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t boots_ = 0;
 };
 
 }  // namespace swapserve::cluster

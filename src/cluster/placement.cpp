@@ -9,6 +9,14 @@ PlacementPolicy::PlacementPolicy(PlacementMode mode, std::uint64_t seed)
     : mode_(mode), rng_(seed) {}
 
 double PlacementPolicy::Score(Node& node, const std::string& model) {
+  // Nodes the health monitor distrusts take no new requests: dead machines
+  // obviously, but also suspect ones (silence is evidence) — anything
+  // routed there would sit behind a failure already being detected.
+  // Rejoining nodes are heard and serving, so they score normally.
+  if (!node.alive() || node.membership() == NodeState::kSuspect ||
+      node.membership() == NodeState::kDown) {
+    return kIneligible;
+  }
   core::Backend* backend = node.serve().backend(model);
   if (backend == nullptr) return kIneligible;
   if (backend->health.state == core::BackendHealth::State::kQuarantined) {
@@ -45,14 +53,16 @@ Result<int> PlacementPolicy::Pick(const std::vector<Node*>& nodes,
   }
   if (eligible.empty()) {
     return Unavailable("no eligible node hosts " + model +
-                       " (every replica is missing or quarantined)");
+                       " (every replica is missing, quarantined, or on a "
+                       "suspect/down node)");
   }
   int picked = best;
   if (mode_ == PlacementMode::kRandom) {
     picked = eligible[static_cast<std::size_t>(rng_.UniformInt(
         0, static_cast<std::int64_t>(eligible.size()) - 1))];
   }
-  // Hard invariant: placement never targets a quarantined backend.
+  // Hard invariant: placement never targets a quarantined backend or a
+  // node the health monitor distrusts.
   for (Node* node : nodes) {
     if (node->id() != picked) continue;
     core::Backend* backend = node->serve().backend(model);
@@ -60,6 +70,10 @@ Result<int> PlacementPolicy::Pick(const std::vector<Node*>& nodes,
                        backend->health.state !=
                            core::BackendHealth::State::kQuarantined,
                    "placement picked a quarantined node");
+    SWAP_CHECK_MSG(node->alive() &&
+                       node->membership() != NodeState::kSuspect &&
+                       node->membership() != NodeState::kDown,
+                   "placement picked a suspect or down node");
   }
   return picked;
 }

@@ -10,8 +10,12 @@
 // idle one even when both hold the payload. The random policy picks
 // uniformly among eligible nodes and exists as the bench baseline.
 //
-// Quarantined backends are never eligible, on either policy; Pick enforces
-// this with a hard check (the chaos property suite leans on it).
+// Quarantined backends are never eligible, on either policy, and neither
+// are dead machines or nodes whose membership is suspect or down — routing
+// to a node the health monitor distrusts would park requests behind a
+// failure the fleet has already detected. Rejoining nodes are eligible
+// again (they are heard and serving). Pick enforces all of this with a
+// hard check (the chaos property suites lean on it).
 
 #pragma once
 
@@ -32,7 +36,8 @@ class PlacementPolicy {
   PlacementPolicy(PlacementMode mode, std::uint64_t seed);
 
   // Cost in seconds of serving `model`'s next request on `node`;
-  // kIneligible when the node cannot take it (no backend, or quarantined).
+  // kIneligible when the node cannot take it (no backend, quarantined,
+  // dead, or membership suspect/down).
   double Score(Node& node, const std::string& model);
 
   // Choose a node for `model` among `nodes`. Ties break toward the lowest

@@ -7,6 +7,20 @@
 
 namespace swapserve::cluster {
 
+std::vector<int> ReplicaRingOrder(const std::string& model_id, int home,
+                                  int nodes) {
+  std::vector<int> order;
+  if (nodes < 2) return order;  // single-node fleet: nothing to walk
+  const int offset =
+      1 + static_cast<int>(fault::StableHash(model_id) %
+                           static_cast<std::uint64_t>(nodes - 1));
+  for (int step = 0; step < nodes; ++step) {
+    const int id = (home + offset + step) % nodes;
+    if (id != home) order.push_back(id);
+  }
+  return order;
+}
+
 SnapshotReplicator::SnapshotReplicator(sim::Simulation& sim,
                                        std::vector<Node*> nodes,
                                        Fabric& fabric)
@@ -25,6 +39,11 @@ std::optional<SnapshotReplicator::Source> SnapshotReplicator::FindSource(
   std::optional<Source> nvme_fallback;
   for (Node* node : nodes_) {
     if (node->id() == dst) continue;
+    // A dead machine serves nothing and a blackholed pair moves nothing:
+    // both make this copy invisible until the fault heals (crash detection
+    // and partition behaviour share this path with the heartbeats).
+    if (!node->alive()) continue;
+    if (!fabric_.Reachable(node->id(), dst)) continue;
     Result<ckpt::Snapshot> found =
         node->serve().snapshot_store().FindByOwner(owner);
     if (!found.ok()) continue;
@@ -63,6 +82,10 @@ sim::Task<Status> SnapshotReplicator::DoFetch(int dst,
                                               hw::TransferPriority priority) {
   Node& node = *nodes_[dst];
   ckpt::SnapshotStore& store = node.serve().snapshot_store();
+  if (!node.alive()) {
+    ++fetch_failures_;
+    co_return Unavailable("cluster fetch: " + node.name() + " is down");
+  }
   SWAP_CO_ASSIGN_OR_RETURN(ckpt::Snapshot snap, store.Get(dst_id));
   if (snap.tier != ckpt::SnapshotTier::kRemote) co_return Status::Ok();
 
@@ -102,6 +125,13 @@ sim::Task<Status> SnapshotReplicator::DoFetch(int dst,
                                                       priority);
   }
   co_await fabric_.Transfer(source->node, dst, snap.dirty_bytes, priority);
+
+  // The destination can die while bytes are on the wire: the transfer
+  // consumed fabric time, but nothing lands in a powered-off machine.
+  if (!node.alive()) {
+    co_return settle(Unavailable("cluster fetch: " + node.name() +
+                                 " died mid-transfer"));
+  }
 
   // Land the payload in the destination's host tier. With a bounded cache
   // the tier manager admits the bytes first (possibly evicting cold

@@ -33,6 +33,15 @@
 
 namespace swapserve::cluster {
 
+// The order in which replication (eager spread at Initialize and repair
+// after a holder dies) visits candidate nodes for `model_id`: a ring walk
+// from a per-model hash offset, home node excluded. The offset spreads
+// replicas across the fleet instead of piling them onto the lowest node
+// ids; repair skips ineligible entries (down nodes, existing holders) and
+// keeps walking, so a walk landing on a dead node just moves on.
+std::vector<int> ReplicaRingOrder(const std::string& model_id, int home,
+                                  int nodes);
+
 class SnapshotReplicator {
  public:
   SnapshotReplicator(sim::Simulation& sim, std::vector<Node*> nodes,
@@ -50,7 +59,9 @@ class SnapshotReplicator {
   // snapshots return Ok immediately; concurrent fetches of the same
   // (node, snapshot) pair dedupe onto one transfer. The payload source is
   // located by owner across the fleet (host-resident copies preferred; an
-  // NVMe-resident source pays its local read first).
+  // NVMe-resident source pays its local read first). Dead or blackholed
+  // source nodes are never used, and a fetch into a dead node fails
+  // kUnavailable — a powered-off machine serves and lands nothing.
   sim::Task<Status> Fetch(int dst, ckpt::SnapshotId dst_id,
                           hw::TransferPriority priority);
 

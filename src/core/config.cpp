@@ -124,6 +124,17 @@ Result<Config> Config::FromJson(const json::Value& doc) {
         cluster->GetDouble("migrate_interval_s", c.migrate_interval_s);
     c.migrate_hysteresis =
         cluster->GetDouble("migrate_hysteresis", c.migrate_hysteresis);
+    c.heartbeat_interval_s =
+        cluster->GetDouble("heartbeat_interval_s", c.heartbeat_interval_s);
+    c.suspect_after_s =
+        cluster->GetDouble("suspect_after_s", c.suspect_after_s);
+    c.down_after_s = cluster->GetDouble("down_after_s", c.down_after_s);
+    c.node_restart_s =
+        cluster->GetDouble("node_restart_s", c.node_restart_s);
+    c.repair_concurrency = static_cast<int>(
+        cluster->GetInt("repair_concurrency", c.repair_concurrency));
+    c.repair_interval_s =
+        cluster->GetDouble("repair_interval_s", c.repair_interval_s);
   }
 
   const json::Value* models = doc.Find("models");
@@ -263,6 +274,30 @@ Status Config::Validate(const model::ModelCatalog& catalog,
     return InvalidArgument(
         "config: cluster.migrate_hysteresis must be >= 1 (a factor below 1 "
         "migrates toward strictly worse placements)");
+  }
+  if (cluster.heartbeat_interval_s < 0) {
+    return InvalidArgument(
+        "config: cluster.heartbeat_interval_s must be >= 0 (0 disables the "
+        "health monitor)");
+  }
+  if (cluster.heartbeat_interval_s > 0 &&
+      (cluster.suspect_after_s <= 0 ||
+       cluster.down_after_s <= cluster.suspect_after_s)) {
+    return InvalidArgument(
+        "config: need 0 < cluster.suspect_after_s < cluster.down_after_s "
+        "(a node must pass through suspicion before it is declared down)");
+  }
+  if (cluster.node_restart_s <= 0) {
+    return InvalidArgument("config: cluster.node_restart_s must be positive");
+  }
+  if (cluster.repair_concurrency < 0) {
+    return InvalidArgument(
+        "config: cluster.repair_concurrency must be >= 0 (0 disables "
+        "replication repair)");
+  }
+  if (cluster.repair_interval_s <= 0) {
+    return InvalidArgument(
+        "config: cluster.repair_interval_s must be positive");
   }
   const bool clustered = cluster.nodes > 1;
   std::set<std::string> seen;

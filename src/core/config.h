@@ -103,6 +103,26 @@ struct ClusterConfig {
   bool migration = false;
   double migrate_interval_s = 5.0;
   double migrate_hysteresis = 2.0;
+  // --- fleet failover (multi-node only; inert with nodes == 1) ----------
+  // Heartbeat cadence of the health monitor; every node.crash /
+  // node.partition fault point is also evaluated once per beat. 0 disables
+  // the monitor, membership detection, and failover entirely.
+  double heartbeat_interval_s = 0.5;
+  // Phi-accrual-style suspicion thresholds: a node unheard for
+  // suspect_after_s turns kSuspect (placement stops routing to it); unheard
+  // for down_after_s it is declared kDown and failover runs (queued
+  // requests drain to survivors, standbys promote, repair kicks in).
+  double suspect_after_s = 1.5;
+  double down_after_s = 5.0;
+  // Reboot time after a node.crash outage elapses, and the retry spacing
+  // when the node.restart fault point keeps a node from coming back.
+  double node_restart_s = 20.0;
+  // Replication repair: background fetches the repairer may keep in flight
+  // while restoring the configured copy count after a replica holder dies.
+  // 0 disables repair (the bench ablation baseline).
+  int repair_concurrency = 2;
+  // Cadence of the repairer's copy-count deficit scan.
+  double repair_interval_s = 5.0;
 };
 
 // Per-model parameters ("model name, container image, GPU memory

@@ -52,6 +52,12 @@ sim::Task<Status> EngineController::SwapOut(Backend& backend,
 
   // Engine-specific optimization (vLLM sleep) shrinks the dirty set.
   Status prep = co_await backend.engine->PrepareForCheckpoint();
+  if (backend.engine->state() == engine::BackendState::kCrashed) {
+    // A node crash (power loss) marked the engine crashed while we were
+    // suspended; the state machine no longer belongs to this swap.
+    co_return Unavailable("swap-out " + backend.name() +
+                          " aborted: engine crashed mid-swap");
+  }
   if (!prep.ok()) {
     SWAP_CHECK(backend.engine->MarkRunning().ok());
     co_return prep;
@@ -76,6 +82,15 @@ sim::Task<Status> EngineController::SwapOut(Backend& backend,
     out = co_await ckpt_.SwapOut(req);
   }
   Result<ckpt::SwapOutResult>& result = *out;
+  if (backend.engine->state() == engine::BackendState::kCrashed) {
+    // The machine died mid-checkpoint: any bytes that landed are torn, so
+    // the snapshot must not survive as a phantom copy.
+    if (result.ok()) {
+      SWAP_WARN_IF_ERROR(ckpt_.DropSnapshot(result->snapshot), "controller");
+    }
+    co_return Unavailable("swap-out " + backend.name() +
+                          " aborted: engine crashed mid-swap");
+  }
   if (!result.ok()) {
     SWAP_CHECK(backend.engine->MarkRunning().ok());
     co_return result.status();
@@ -115,6 +130,16 @@ sim::Task<Status> EngineController::SwapIn(Backend& backend) {
   Result<ckpt::SwapInResult> result = co_await ckpt_.SwapIn(
       backend.snapshot, *backend.engine->container(),
       backend.engine->process(), backend.engine->Gpus());
+  if (backend.engine->state() == engine::BackendState::kCrashed) {
+    // A node crash landed while the restore was on the wire. A restore
+    // that technically finished still consumed the checkpoint handle.
+    if (result.ok()) {
+      backend.has_snapshot = false;
+      backend.snapshot = 0;
+    }
+    co_return Unavailable("swap-in " + backend.name() +
+                          " aborted: engine crashed mid-restore");
+  }
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kDataLoss) {
       co_return co_await ColdRestoreFallback(backend, result.status());
@@ -126,6 +151,10 @@ sim::Task<Status> EngineController::SwapIn(Backend& backend) {
   backend.snapshot = 0;
 
   Status after = co_await backend.engine->AfterRestore();
+  if (backend.engine->state() == engine::BackendState::kCrashed) {
+    co_return Unavailable("swap-in " + backend.name() +
+                          " aborted: engine crashed mid-restore");
+  }
   if (!after.ok()) co_return after;
   SWAP_CHECK(backend.engine->MarkRunning().ok());
   backend.health.last_resident = sim_.Now();
@@ -244,6 +273,14 @@ sim::Task<Status> EngineController::PipelinedSwapIn(Backend& backend) {
       backend.engine->process(), backend.engine->Gpus(),
       MakeGatedSwapInPipeline(held));
   held.clear();  // abort path may leave granted-but-unused reservations
+  if (backend.engine->state() == engine::BackendState::kCrashed) {
+    if (result.ok()) {
+      backend.has_snapshot = false;
+      backend.snapshot = 0;
+    }
+    co_return Unavailable("swap-in " + backend.name() +
+                          " aborted: engine crashed mid-restore");
+  }
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kDataLoss) {
       co_return co_await ColdRestoreFallback(backend, result.status());
@@ -255,6 +292,10 @@ sim::Task<Status> EngineController::PipelinedSwapIn(Backend& backend) {
   backend.snapshot = 0;
 
   Status after = co_await backend.engine->AfterRestore();
+  if (backend.engine->state() == engine::BackendState::kCrashed) {
+    co_return Unavailable("swap-in " + backend.name() +
+                          " aborted: engine crashed mid-restore");
+  }
   if (!after.ok()) co_return after;
   SWAP_CHECK(backend.engine->MarkRunning().ok());
   backend.health.last_resident = sim_.Now();

@@ -20,6 +20,7 @@ void EngineSupervisor::Start() {
 
 sim::Task<int> EngineSupervisor::ScanOnce() {
   int actions = 0;
+  if (paused_) co_return actions;  // the node hosting us is powered off
   for (Backend* b : controller_.backends()) {
     Backend& backend = *b;
     engine::BackendState state = backend.engine->state();
@@ -140,6 +141,10 @@ sim::Task<Status> EngineSupervisor::Recover(Backend& backend) {
   backend.health.state = BackendHealth::State::kQuarantined;
   ++backend.health.quarantines;
   backend.health.breaker.ForceOpen();
+  if (fault::IsRetryable(last)) {
+    obs::IncCounter(obs_, "swapserve_retry_exhausted_total",
+                    {{"component", "supervisor"}, {"model", backend.name()}});
+  }
   metrics_.RecordQuarantine(backend.name());
   obs::Instant(obs_, "quarantined:" + backend.name(), "supervisor",
                backend.name(), {{"cause", std::string(last.message())}});

@@ -53,6 +53,14 @@ class EngineSupervisor {
   void Stop() { running_ = false; }
   bool running() const { return running_; }
 
+  // Suspend scanning without killing the loop coroutine (a crashed *node*
+  // has no supervisor process either — Stop()+Start() would instead stack
+  // a second loop on top of the old one still sleeping out its interval).
+  // Resume() lets the next scheduled pass run again.
+  void Pause() { paused_ = true; }
+  void Resume() { paused_ = false; }
+  bool paused() const { return paused_; }
+
   // One scan pass (also called by the loop); returns actions taken
   // (recoveries attempted + rejuvenations).
   sim::Task<int> ScanOnce();
@@ -78,6 +86,7 @@ class EngineSupervisor {
   sim::Rng rng_;
   obs::Observability* obs_ = nullptr;
   bool running_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace swapserve::core

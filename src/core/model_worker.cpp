@@ -47,15 +47,26 @@ sim::Task<> ModelWorker::FailOrRequeue(QueuedRequest item, Status status,
     if (backend_.queue->TrySend(std::move(item))) co_return;
     item = std::move(copy);  // queue full or closed: the error is terminal
   }
+  if (fault::IsRetryable(status)) {
+    // The failure was the kind a retry could have fixed; the attempt budget
+    // (or the client deadline) ran out first.
+    obs::IncCounter(obs_, "swapserve_retry_exhausted_total",
+                    {{"component", "worker"}, {"model", backend_.name()}});
+  }
   metrics_.RecordFailed(backend_.name());
   RespondError(item, error);
 }
 
 sim::Task<> ModelWorker::Run() {
   while (true) {
+    while (paused_) co_await resumed_.Wait();
     std::optional<QueuedRequest> next = co_await backend_.queue->Recv();
     if (!next.has_value()) break;  // queue closed and drained
     QueuedRequest item = std::move(*next);
+    // A pause can land while we were parked in Recv (an arriving request
+    // wakes the receiver regardless): hold the request until the node
+    // powers back on instead of serving it from a dead machine.
+    while (paused_) co_await resumed_.Wait();
 
     // §4.1: verify the client connection is still active before spending
     // any resources on the request.

@@ -11,6 +11,7 @@
 #include "fault/retry.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 
 namespace swapserve::core {
@@ -22,7 +23,8 @@ class ModelWorker {
       : sim_(sim),
         backend_(backend),
         scheduler_(scheduler),
-        metrics_(metrics) {}
+        metrics_(metrics),
+        resumed_(sim) {}
 
   // Spawn the polling loop. It exits when the backend queue is closed and
   // drained.
@@ -30,6 +32,21 @@ class ModelWorker {
   bool running() const { return running_; }
   // Relays (forwarded requests) still in flight.
   int active_relays() const { return active_relays_; }
+
+  // Park the polling loop without consuming the queue (a dead node's
+  // processes serve nothing) so queued requests stay drainable by the
+  // fleet's failover re-dispatch. A request already in the worker's hand
+  // when the pause lands is held, not dropped — it rides out the outage
+  // and relays after Resume(), like a connection surviving a reboot.
+  void Pause() {
+    paused_ = true;
+    resumed_.Reset();
+  }
+  void Resume() {
+    paused_ = false;
+    resumed_.Set();
+  }
+  bool paused() const { return paused_; }
 
   // Emit per-request serve spans and queue-wait histograms (nullable).
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
@@ -61,6 +78,8 @@ class ModelWorker {
   Metrics& metrics_;
   obs::Observability* obs_ = nullptr;
   bool running_ = false;
+  bool paused_ = false;
+  sim::SimEvent resumed_;
   int active_relays_ = 0;
   fault::RetryPolicy backoff_;
   int request_retries_ = 2;

@@ -43,6 +43,14 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
           << " consecutive failures";
     }
   };
+  // Distinguishes "gave up on a retryable failure because the attempt
+  // budget ran out" (counted) from "the failure was never retryable"
+  // (not an exhaustion — retrying would not have helped).
+  auto record_exhausted = [this, &backend](const Status& status) {
+    if (!fault::IsRetryable(status)) return;
+    obs::IncCounter(obs_, "swapserve_retry_exhausted_total",
+                    {{"component", "scheduler"}, {"model", backend.name()}});
+  };
 
   // Reservation/swap-in failures below are retried with backoff up to the
   // policy's budget; `failures` persists across loop iterations, and
@@ -154,6 +162,7 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
           co_await sim_.Delay(backoff);
           continue;
         }
+        record_exhausted(status);
         record_failure();
         co_return status;
       }
@@ -218,6 +227,7 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
       SWAP_LOG(kWarning, "scheduler")
           << "reservation for " << backend.name()
           << " failed after " << failures << " attempt(s): " << status;
+      record_exhausted(status);
       record_failure();
       co_return status;
     }
@@ -239,6 +249,7 @@ sim::Task<Result<sim::SimRwLock::SharedGuard>> Scheduler::EnsureRunningAndPin(
         co_await sim_.Delay(backoff);
         continue;
       }
+      record_exhausted(status);
       record_failure();
       co_return status;
     }

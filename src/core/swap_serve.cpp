@@ -118,6 +118,7 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
     backend->health.breaker.Configure(
         config_.recovery.breaker_failure_threshold,
         sim::Seconds(config_.recovery.breaker_cooldown_s));
+    backend->health.breaker.BindObservability(&obs_, entry.model_id);
     controller_.RegisterBackend(backend.get());
     handler_.RegisterBackend(backend.get());
     backends_.push_back(std::move(backend));
@@ -230,6 +231,14 @@ sim::Task<Status> SwapServe::Initialize() {
   }
   initialized_ = true;
   co_return Status::Ok();
+}
+
+void SwapServe::PauseWorkers() {
+  for (const std::unique_ptr<ModelWorker>& w : workers_) w->Pause();
+}
+
+void SwapServe::ResumeWorkers() {
+  for (const std::unique_ptr<ModelWorker>& w : workers_) w->Resume();
 }
 
 void SwapServe::Shutdown() {

@@ -105,6 +105,10 @@ class SwapServe {
   fault::FaultInjector& fault_injector() { return fault_injector_; }
   // Null unless recovery.health_check_interval_s > 0.
   EngineSupervisor* supervisor() { return supervisor_.get(); }
+  // Fleet failover hooks (cluster::Node::Crash/Boot): park or resume every
+  // model worker so a powered-off node consumes nothing from its queues.
+  void PauseWorkers();
+  void ResumeWorkers();
   bool initialized() const { return initialized_; }
 
  private:

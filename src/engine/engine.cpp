@@ -262,6 +262,11 @@ sim::Task<Result<InitBreakdown>> InferenceEngine::Restart() {
   // (bad node, wedged driver); repeated failures drive quarantine.
   fault::FaultDecision f = fault::Evaluate(fault_, "engine.restart", name_);
   if (f.stall.ns() > 0) co_await sim().Delay(f.stall);
+  if (state_ != BackendState::kInitializing) {
+    // An external MarkCrashed (node power loss) landed mid-restart; leave
+    // the crashed state alone for whoever owns recovery now.
+    co_return Unavailable("restart: " + name_ + " crashed mid-restart");
+  }
   if (!f.status.ok()) {
     state_ = BackendState::kCrashed;
     co_return f.status;
@@ -270,12 +275,21 @@ sim::Task<Result<InitBreakdown>> InferenceEngine::Restart() {
   // replacement process can boot.
   if (container_->state() == container::ContainerState::kPaused) {
     Status s = co_await container_->Unpause();
+    if (state_ != BackendState::kInitializing) {
+      co_return Unavailable("restart: " + name_ + " crashed mid-restart");
+    }
     if (!s.ok()) {
       state_ = BackendState::kCrashed;
       co_return s;
     }
   }
   Result<InitBreakdown> breakdown = co_await InitializeEngine();
+  if (state_ != BackendState::kInitializing) {
+    // Crashed again mid-boot; release whatever the aborted initialization
+    // claimed after the crash handler's sweep.
+    for (hw::GpuDevice* dev : Gpus()) dev->FreeAllOwnedBy(name_);
+    co_return Unavailable("restart: " + name_ + " crashed mid-restart");
+  }
   if (!breakdown.ok()) {
     // Initialization may have died after claiming some device memory
     // (e.g. weights landed, KV-arena allocation failed); release it so a

@@ -11,13 +11,26 @@ std::string_view CircuitStateName(CircuitBreaker::State s) {
   return "?";
 }
 
+void CircuitBreaker::Transition(State to) {
+  if (state_ == to) return;
+  state_ = to;
+  obs::IncCounter(obs_, "swapserve_breaker_transitions_total",
+                  {{"backend", backend_},
+                   {"to", std::string(CircuitStateName(to))}});
+  const double level = to == State::kClosed ? 0.0
+                       : to == State::kHalfOpen ? 1.0
+                                                : 2.0;
+  obs::SetGauge(obs_, "swapserve_breaker_state", {{"backend", backend_}},
+                level);
+}
+
 bool CircuitBreaker::AllowRequest() {
   switch (state_) {
     case State::kClosed:
       return true;
     case State::kOpen:
       if (sim_.Now() - opened_at_ < cooldown_) return false;
-      state_ = State::kHalfOpen;
+      Transition(State::kHalfOpen);
       probe_in_flight_ = true;
       return true;
     case State::kHalfOpen:
@@ -30,7 +43,7 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  state_ = State::kClosed;
+  Transition(State::kClosed);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
 }
@@ -53,7 +66,7 @@ void CircuitBreaker::RecordFailure() {
 
 void CircuitBreaker::ForceOpen() {
   if (state_ != State::kOpen) ++trips_;
-  state_ = State::kOpen;
+  Transition(State::kOpen);
   opened_at_ = sim_.Now();
   probe_in_flight_ = false;
 }

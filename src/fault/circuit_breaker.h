@@ -11,8 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <utility>
 
+#include "obs/observability.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -48,7 +51,20 @@ class CircuitBreaker {
   std::uint64_t trips() const { return trips_; }
   sim::SimTime opened_at() const { return opened_at_; }
 
+  // Emit every state change as
+  // swapserve_breaker_transitions_total{backend,to} plus a live state gauge
+  // swapserve_breaker_state{backend} (0 closed, 1 half-open, 2 open).
+  // Nullable, like every other BindObservability in the tree.
+  void BindObservability(obs::Observability* obs, std::string backend) {
+    obs_ = obs;
+    backend_ = std::move(backend);
+  }
+
  private:
+  // All state changes funnel through here so the metrics cannot drift from
+  // the machine; no-op (and no metric) when the state is unchanged.
+  void Transition(State to);
+
   sim::Simulation& sim_;
   int threshold_;
   sim::SimDuration cooldown_;
@@ -57,6 +73,8 @@ class CircuitBreaker {
   sim::SimTime opened_at_;
   bool probe_in_flight_ = false;
   std::uint64_t trips_ = 0;
+  obs::Observability* obs_ = nullptr;
+  std::string backend_;
 };
 
 std::string_view CircuitStateName(CircuitBreaker::State s);

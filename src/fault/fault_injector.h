@@ -42,6 +42,17 @@
 //   cluster.migrate  a live swap migration aborts before the source is
 //                    drained; the model stays put and a later sweep may
 //                    retry
+//   node.crash       the whole machine powers off (owner = node name,
+//                    evaluated once per heartbeat on the node's own
+//                    injector); stall_s is the *outage duration* before
+//                    the reboot starts, not a pre-delay
+//   node.partition   a node pair's fabric path fails (owner =
+//                    "nodeA:nodeB", evaluated on the lower node's
+//                    injector); a failing rule blackholes the pair for
+//                    stall_s, a stall-only rule degrades its bandwidth
+//   node.restart     a node reboot fails to come back up; each failure
+//                    waits another node_restart_s and retries, so a
+//                    probability below 1 recovers eventually
 
 #pragma once
 

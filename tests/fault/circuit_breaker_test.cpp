@@ -86,6 +86,42 @@ TEST(CircuitBreakerTest, ForceOpenRestartsTheCooldown) {
   sim.Run();
 }
 
+TEST(CircuitBreakerTest, TransitionsExportLabeledMetrics) {
+  sim::Simulation sim;
+  obs::Observability obs(sim);
+  CircuitBreaker breaker(sim, /*failure_threshold=*/1, sim::Seconds(1));
+  breaker.BindObservability(&obs, "modelA");
+
+  auto transitions = [&](const char* to) {
+    return obs.metrics
+        .GetCounter("swapserve_breaker_transitions_total",
+                    {{"backend", "modelA"}, {"to", to}})
+        .value();
+  };
+  auto state_gauge = [&] {
+    return obs.metrics
+        .GetGauge("swapserve_breaker_state", {{"backend", "modelA"}})
+        .value();
+  };
+
+  breaker.RecordFailure();  // closed -> open
+  EXPECT_EQ(transitions("open"), 1.0);
+  EXPECT_EQ(state_gauge(), 2.0);
+
+  sim.Schedule(sim::Seconds(2), [&] {
+    ASSERT_TRUE(breaker.AllowRequest());  // open -> half-open (the probe)
+    EXPECT_EQ(transitions("half-open"), 1.0);
+    EXPECT_EQ(state_gauge(), 1.0);
+    breaker.RecordSuccess();  // half-open -> closed
+    EXPECT_EQ(transitions("closed"), 1.0);
+    EXPECT_EQ(state_gauge(), 0.0);
+    // Same-state writes are not transitions: nothing increments.
+    breaker.RecordSuccess();
+    EXPECT_EQ(transitions("closed"), 1.0);
+  });
+  sim.Run();
+}
+
 TEST(CircuitBreakerTest, StateNames) {
   EXPECT_EQ(CircuitStateName(State::kClosed), "closed");
   EXPECT_EQ(CircuitStateName(State::kOpen), "open");
