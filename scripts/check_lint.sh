@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Build swaplint and sweep the production tree (src/ + tools/swaplint) plus
-# the fixture self-tests. Equivalent to `ctest -L lint` but buildable from
-# a clean checkout. Usage: scripts/check_lint.sh [build-dir]
+# Build swaplint and sweep the production tree (src/ + tools/swaplint +
+# bench/ + examples/, with the tests/property chaos tables scanned for
+# fault-point coverage) plus the fixture self-tests. The sweep fails on any
+# finding not parked in tools/swaplint/baseline.txt. Equivalent to
+# `ctest -L lint` but buildable from a clean checkout.
+# Usage: scripts/check_lint.sh [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -332,6 +332,7 @@ sim::Task<Result<SwapInResult>> CheckpointEngine::SwapIn(
         ++remaining;
         // Captures reference this frame, which blocks on streams_done
         // below; Spawn keeps the closure alive in the driver frame.
+        // swaplint-ok(spawn-ref-capture): frame blocks on streams_done
         sim::Spawn([&, rank, dirty_stream, shard]() -> sim::Task<> {
           hw::GpuDevice* dev = gpus[rank];
           Bytes done(0);

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "engine/factory.h"
+#include "fault/fault_points.h"
 
 namespace swapserve::core {
 
@@ -201,6 +202,10 @@ Status Config::Validate(const model::ModelCatalog& catalog,
         "config: host_cache_mib exceeds snapshot_budget_gib");
   }
   for (const fault::FaultRule& r : fault.plan.rules) {
+    if (!fault::IsRegisteredFaultPoint(r.point)) {
+      return InvalidArgument("config: fault rule names unregistered point \"" +
+                             r.point + "\" (see src/fault/fault_points.h)");
+    }
     if (r.probability < 0 || r.probability > 1) {
       return InvalidArgument("config: fault rule " + r.point +
                              ": probability out of [0, 1]");

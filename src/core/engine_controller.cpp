@@ -353,6 +353,13 @@ sim::Task<Result<SwapOverResult>> EngineController::SwapOver(Backend& out,
     co_return mark;
   }
   Status prep = co_await out.engine->PrepareForCheckpoint();
+  if (out.engine->state() == engine::BackendState::kCrashed) {
+    // A node crash marked the engine crashed while we were suspended; the
+    // state machine no longer belongs to this swap.
+    finish_in();
+    co_return Unavailable("swap-over: " + out.name() +
+                          " crashed mid-swap");
+  }
   if (!prep.ok()) {
     SWAP_CHECK(out.engine->MarkRunning().ok());
     finish_in();
@@ -382,6 +389,7 @@ sim::Task<Result<SwapOverResult>> EngineController::SwapOver(Backend& out,
   sim::SimTime out_end = start;
   // Captures reference this frame, which awaits out_done on every path
   // below; Spawn keeps the closure alive in the driver frame.
+  // swaplint-ok(spawn-ref-capture): frame blocks on out_done before exit
   sim::Spawn([&, req]() -> sim::Task<> {
     out_result = co_await RunPipelinedSwapOut(req, [&] {
       staged_ok = true;
@@ -398,31 +406,63 @@ sim::Task<Result<SwapOverResult>> EngineController::SwapOver(Backend& out,
     // container/process back itself, and RunPipelinedSwapOut withdrew the
     // announcement. Nothing was restored yet.
     co_await out_done.Wait();
+    if (out.engine->state() == engine::BackendState::kCrashed) {
+      // The crash handler owns the state machine now.
+      finish_in();
+      co_return Unavailable("swap-over: " + out.name() +
+                            " crashed mid-swap");
+    }
     SWAP_CHECK(out.engine->MarkRunning().ok());
     finish_in();
     co_return out_result->status();
   }
 
-  SWAP_CHECK(in.engine->MarkSwapping().ok());
+  // A node crash can land while the staging await was parked; a torn-down
+  // incoming engine must not be marked swapping or restored into.
+  Result<ckpt::SwapInResult> in_result = Unavailable(
+      "swap-over: " + in.name() + " crashed before restore");
+  sim::SimTime in_ready = sim_.Now();
   std::map<hw::GpuId, std::vector<TaskManager::Reservation>> held;
-  Result<ckpt::SwapInResult> in_result = co_await ckpt_.SwapIn(
-      in.snapshot, *in.engine->container(), in.engine->process(),
-      in.engine->Gpus(), MakeGatedSwapInPipeline(held));
-  const sim::SimTime in_ready = sim_.Now();
-  held.clear();
+  if (in.engine->state() != engine::BackendState::kCrashed) {
+    SWAP_CHECK(in.engine->MarkSwapping().ok());
+    in_result = co_await ckpt_.SwapIn(
+        in.snapshot, *in.engine->container(), in.engine->process(),
+        in.engine->Gpus(), MakeGatedSwapInPipeline(held));
+    in_ready = sim_.Now();
+    held.clear();
+  }
   co_await out_done.Wait();
 
   // Past the commit point the checkpoint cannot fail; finalize the
   // outgoing side unconditionally.
   SWAP_CHECK_MSG(out_result->ok(),
                  "swap-out failed past its commit point");
-  out.snapshot = (**out_result).snapshot;
-  out.has_snapshot = true;
-  out.resident_bytes = out_resident;
-  SWAP_CHECK(out.engine->MarkSwappedOut().ok());
-  metrics_.RecordSwapOut(out.name(), (out_end - start).ToSeconds(),
-                         /*preemption=*/true);
+  if (out.engine->state() == engine::BackendState::kCrashed) {
+    // The machine died after the commit point: the staged bytes are torn,
+    // so the snapshot must not survive as a phantom copy (same contract as
+    // SwapOut). The incoming side may have restored fine; fall through to
+    // its normal handling via the crash checks below.
+    SWAP_WARN_IF_ERROR(ckpt_.DropSnapshot((**out_result).snapshot),
+                       "controller");
+  } else {
+    out.snapshot = (**out_result).snapshot;
+    out.has_snapshot = true;
+    out.resident_bytes = out_resident;
+    SWAP_CHECK(out.engine->MarkSwappedOut().ok());
+    metrics_.RecordSwapOut(out.name(), (out_end - start).ToSeconds(),
+                           /*preemption=*/true);
+  }
 
+  if (in.engine->state() == engine::BackendState::kCrashed) {
+    // A restore that technically finished still consumed the handle.
+    if (in_result.ok()) {
+      in.has_snapshot = false;
+      in.snapshot = 0;
+    }
+    finish_in();
+    co_return Unavailable("swap-over: " + in.name() +
+                          " crashed mid-restore");
+  }
   if (!in_result.ok()) {
     SWAP_CHECK(in.engine->MarkSwappedOut().ok());
     finish_in();
@@ -431,6 +471,11 @@ sim::Task<Result<SwapOverResult>> EngineController::SwapOver(Backend& out,
   in.has_snapshot = false;
   in.snapshot = 0;
   Status after = co_await in.engine->AfterRestore();
+  if (in.engine->state() == engine::BackendState::kCrashed) {
+    finish_in();
+    co_return Unavailable("swap-over: " + in.name() +
+                          " crashed mid-restore");
+  }
   if (!after.ok()) {
     finish_in();
     co_return after;

@@ -9,50 +9,10 @@
 // every chaos run. Points with no armed rule never draw from the stream:
 // an empty plan is byte-identical to running without the injector.
 //
-// Registered fault points:
-//   ckpt.swap_out    checkpoint fails before the container is frozen
-//   ckpt.swap_in     restore fails before any memory is re-acquired
-//                    (snapshot retained — the failure is retryable)
-//   ckpt.chunk       one chunk of a pipelined restore fails mid-stream,
-//                    exercising the rollback path
-//   snapshot.corrupt the staged snapshot's checksum is flipped at Put;
-//                    detected by SnapshotStore::Verify on the next restore
-//   storage.promote  an NVMe->host snapshot promotion fails at start. A
-//                    DATA_LOSS-coded rule instead corrupts the promoted
-//                    copy (bit rot the firmware missed — caught by the
-//                    checksum, never served silently); any other code
-//                    aborts the promotion and the restore falls back to a
-//                    direct NVMe read
-//   storage.read     an NVMe payload read (promotion or direct restore)
-//                    fails before bytes move; retryable
-//   hw.acquire       device memory acquisition fails (fail-only: the
-//                    allocator is synchronous, stalls are ignored)
-//   hw.link          the link channel wedges before a transfer (stall-only:
-//                    transfers cannot fail, they only take longer)
-//   engine.crash     the engine process dies at request entry
-//   engine.hang      the engine stops making progress for stall_s (caught
-//                    by the supervisor's hang deadline, if armed)
-//   engine.restart   a supervisor-driven restart fails to come back up;
-//                    repeated failures exhaust the retry budget and drive
-//                    quarantine
-//   cluster.fetch    a cross-node snapshot fetch fails before bytes move
-//                    (retryable — the placeholder survives); a
-//                    DATA_LOSS-coded rule instead lands the payload and
-//                    corrupts it, caught by the restore-time checksum
-//   cluster.migrate  a live swap migration aborts before the source is
-//                    drained; the model stays put and a later sweep may
-//                    retry
-//   node.crash       the whole machine powers off (owner = node name,
-//                    evaluated once per heartbeat on the node's own
-//                    injector); stall_s is the *outage duration* before
-//                    the reboot starts, not a pre-delay
-//   node.partition   a node pair's fabric path fails (owner =
-//                    "nodeA:nodeB", evaluated on the lower node's
-//                    injector); a failing rule blackholes the pair for
-//                    stall_s, a stall-only rule degrades its bandwidth
-//   node.restart     a node reboot fails to come back up; each failure
-//                    waits another node_restart_s and retries, so a
-//                    probability below 1 recovers eventually
+// The canonical list of fault-point names (with per-point semantics) lives
+// in fault_points.h; Config::Validate and swaplint's fault-point rules both
+// check against that registry, so a typo'd point cannot silently never
+// fire.
 
 #pragma once
 

@@ -25,6 +25,7 @@ inline Task<> WhenAll(Simulation& sim, std::vector<Task<>> tasks) {
     // The branch closure (and the task it owns) lives in the driver frame;
     // `done`/`remaining` live in this frame, which outlives all branches
     // because we block on the event below.
+    // swaplint-ok(spawn-ref-capture): frame blocks on done.Wait() below
     Spawn([&done, &remaining, task = std::move(t)]() mutable -> Task<> {
       co_await std::move(task);
       if (--remaining == 0) done.Set();

@@ -1,6 +1,8 @@
 // swaplint fixture tests: every rule fires on its trigger fixture and
 // stays silent on the compliant twin; suppression annotations silence
-// exactly the named rule (DESIGN.md §10).
+// exactly the named rule (DESIGN.md §10 and §15). Also covers the
+// fault-point registry extraction/coverage helpers, baseline round-trips,
+// and the README <-> --list-rules sync.
 
 #include <algorithm>
 #include <fstream>
@@ -106,20 +108,195 @@ TEST(SwaplintFixtureTest, WrongRuleAnnotationDoesNotSuppress) {
   EXPECT_EQ(CountRule(diags, "coro-ref-param"), 1) << Render(diags);
 }
 
-TEST(SwaplintFixtureTest, RuleListCoversAllFiveRules) {
+TEST(SwaplintFixtureTest, SpawnRefCaptureFiresOnByRefLambda) {
+  auto diags = LintFixture("spawn_ref_capture_bad.cc");
+  EXPECT_EQ(CountRule(diags, "spawn-ref-capture"), 2) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, SpawnRefCaptureSilentOnValueAndNonCoroutine) {
+  auto diags = LintFixture("spawn_ref_capture_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, StaleStateFiresOnUncheckedMutation) {
+  auto diags = LintFixture("stale_state_after_await_bad.cc");
+  // One Mark*() transition plus two snapshot-handle assignments.
+  EXPECT_EQ(CountRule(diags, "stale-state-after-await"), 3) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, StaleStateSilentWithRecheckHelperOrTailCall) {
+  auto diags = LintFixture("stale_state_after_await_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, FaultPointNameCatchesSeededTypo) {
+  auto diags = LintFixture("fault_point_name_bad.cc");
+  // "ckpt.swap_uot" at the Evaluate site, "engine.crsh" at the assignment.
+  EXPECT_EQ(CountRule(diags, "fault-point-name"), 2) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, FaultPointNameSilentOnRegisteredAndNonPointShapes) {
+  auto diags = LintFixture("fault_point_name_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, UnorderedIterationFiresOnRangeFor) {
+  auto diags = LintFixture("unordered_iteration_bad.cc");
+  EXPECT_EQ(CountRule(diags, "unordered-iteration"), 2) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, UnorderedIterationSilentOnOrderedAndSortedCopy) {
+  auto diags = LintFixture("unordered_iteration_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, NondeterministicSourceFiresOnClockAndEntropy) {
+  auto diags = LintFixture("nondeterministic_source_bad.cc");
+  // system_clock, random_device, rand(), srand().
+  EXPECT_EQ(CountRule(diags, "nondeterministic-source"), 4) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, NondeterministicSourceSilentOnSimTimeAndSeededRng) {
+  auto diags = LintFixture("nondeterministic_source_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, PointerOrderFiresOnPointerKeys) {
+  auto diags = LintFixture("pointer_order_bad.cc");
+  EXPECT_EQ(CountRule(diags, "pointer-order"), 2) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, PointerOrderSilentOnPointerValuesAndIdKeys) {
+  auto diags = LintFixture("pointer_order_ok.cc");
+  EXPECT_TRUE(diags.empty()) << Render(diags);
+}
+
+TEST(SwaplintFixtureTest, V2SuppressionsMatchExactRuleName) {
+  auto diags = LintFixture("suppression_v2.cc");
+  EXPECT_EQ(CountRule(diags, "spawn-ref-capture"), 0) << Render(diags);
+  EXPECT_EQ(CountRule(diags, "stale-state-after-await"), 0) << Render(diags);
+  // The second loop is annotated with the wrong rule name.
+  EXPECT_EQ(CountRule(diags, "unordered-iteration"), 1) << Render(diags);
+}
+
+// --- Fault-point registry helpers ------------------------------------------
+
+constexpr std::string_view kRegistrySource = R"(
+namespace swapserve::fault {
+inline constexpr std::string_view kFaultPointRegistry[] = {
+    "ckpt.swap_out",
+    "engine.crash",
+    "ghost.point",
+};
+}  // namespace swapserve::fault
+)";
+
+TEST(SwaplintRegistryTest, ExtractsNamesFromRegistryInitializer) {
+  std::vector<std::string> names = ExtractFaultPointNames(kRegistrySource);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "ckpt.swap_out");
+  EXPECT_EQ(names[1], "engine.crash");
+  EXPECT_EQ(names[2], "ghost.point");
+}
+
+TEST(SwaplintRegistryTest, CoverageReportsDeliberatelyOmittedPoint) {
+  const std::vector<std::string> registry = {"ckpt.swap_out", "engine.crash",
+                                             "ghost.point"};
+  const std::string_view chaos =
+      "FaultRule{.point = \"ckpt.swap_out\"};\n"
+      "FaultRule{.point = \"engine.crash\"};\n";
+  std::vector<std::string> unarmed = UnarmedFaultPoints(registry, {chaos});
+  ASSERT_EQ(unarmed.size(), 1u);
+  EXPECT_EQ(unarmed[0], "ghost.point");
+}
+
+TEST(SwaplintRegistryTest, LinterEmitsCoverageDiagnosticForUnarmedPoint) {
+  Linter linter;
+  linter.AddFile("fault_points.h", kRegistrySource);
+  linter.AddChaosFile("chaos.cc", "rule.point = \"ckpt.swap_out\";\n"
+                                  "rule.point = \"engine.crash\";\n");
+  auto diags = linter.Run();
+  ASSERT_EQ(CountRule(diags, "fault-point-coverage"), 1) << Render(diags);
+  EXPECT_NE(diags[0].message.find("ghost.point"), std::string::npos);
+  EXPECT_EQ(diags[0].file, "fault_points.h");
+}
+
+TEST(SwaplintRegistryTest, NoCoverageDiagnosticsWithoutChaosFiles) {
+  Linter linter;
+  linter.AddFile("fault_points.h", kRegistrySource);
+  auto diags = linter.Run();
+  EXPECT_EQ(CountRule(diags, "fault-point-coverage"), 0) << Render(diags);
+}
+
+TEST(SwaplintRegistryTest, RealRegistryMatchesRuntimeHeader) {
+  // The linter parses the same header Config::Validate compiles against;
+  // drifting the two is a build error here.
+  const std::string content = ReadFixture("../../../src/fault/fault_points.h");
+  std::vector<std::string> names = ExtractFaultPointNames(content);
+  EXPECT_EQ(names.size(), 16u);
+  for (const std::string& n : names) {
+    EXPECT_TRUE(n.find('.') != std::string::npos) << n;
+  }
+}
+
+// --- Baseline support -------------------------------------------------------
+
+TEST(SwaplintBaselineTest, SerializeParseRoundTrip) {
+  std::vector<Diagnostic> diags = {
+      {"src/a.cc", 10, "coro-ref-param", "msg"},
+      {"src/b.cc", 20, "pointer-order", "msg"},
+  };
+  std::set<std::string> parsed = ParseBaseline(SerializeBaseline(diags));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.count("src/a.cc:10: [coro-ref-param]"), 1u);
+  EXPECT_EQ(parsed.count("src/b.cc:20: [pointer-order]"), 1u);
+}
+
+TEST(SwaplintBaselineTest, ApplyDropsOnlyBaselinedFindings) {
+  std::vector<Diagnostic> diags = {
+      {"src/a.cc", 10, "coro-ref-param", "msg"},
+      {"src/b.cc", 20, "pointer-order", "msg"},
+  };
+  std::set<std::string> baseline = {"src/a.cc:10: [coro-ref-param]",
+                                    "src/gone.cc:1: [lock-order]"};
+  EXPECT_EQ(ApplyBaseline(diags, baseline), 1u);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/b.cc");
+}
+
+TEST(SwaplintBaselineTest, ParserIgnoresCommentsAndBlankLines) {
+  std::set<std::string> parsed = ParseBaseline(
+      "# header\n\n  src/a.cc:1: [lock-order]  \n# trailing\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.count("src/a.cc:1: [lock-order]"), 1u);
+}
+
+// --- Rule catalog / docs sync -----------------------------------------------
+
+TEST(SwaplintFixtureTest, RuleListCoversAllTwelveRules) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 12u);
   std::vector<std::string> names;
   for (const RuleInfo& r : rules) names.emplace_back(r.name);
-  EXPECT_NE(std::find(names.begin(), names.end(), "coro-ref-param"),
-            names.end());
-  EXPECT_NE(std::find(names.begin(), names.end(), "unawaited-task"),
-            names.end());
-  EXPECT_NE(std::find(names.begin(), names.end(), "discarded-status"),
-            names.end());
-  EXPECT_NE(std::find(names.begin(), names.end(), "guard-across-await"),
-            names.end());
-  EXPECT_NE(std::find(names.begin(), names.end(), "lock-order"), names.end());
+  for (const char* expected :
+       {"coro-ref-param", "spawn-ref-capture", "stale-state-after-await",
+        "unawaited-task", "discarded-status", "guard-across-await",
+        "lock-order", "fault-point-name", "fault-point-coverage",
+        "unordered-iteration", "nondeterministic-source", "pointer-order"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(SwaplintDocsTest, ReadmeListsEveryRule) {
+  // README's static-analysis table is wired to --list-rules by this test:
+  // adding a rule without documenting it fails here.
+  const std::string readme = ReadFixture("../../../README.md");
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_NE(readme.find("`" + std::string(r.name) + "`"),
+              std::string::npos)
+        << "README.md does not mention rule " << r.name;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+// Fixture: nondeterministic-source must fire on wall-clock reads and
+// unseeded entropy — both make two runs with the same seed diverge.
+namespace fixture {
+
+Status Stamp(Trace& trace) {
+  auto now = std::chrono::system_clock::now();
+  trace.Record(now);
+  std::random_device rd;
+  int jitter = rand() % 100;
+  srand(42);
+  trace.Record(jitter + rd());
+  return Status::Ok();
+}
+
+}  // namespace fixture

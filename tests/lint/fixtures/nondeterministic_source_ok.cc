@@ -1,0 +1,14 @@
+// Silent twin: virtual time and the seeded Rng streams are the sanctioned
+// sources, and member functions that happen to be called rand() are not
+// the libc global.
+namespace fixture {
+
+Status Stamp(sim::Simulation& sim, Trace& trace) {
+  trace.Record(sim.Now());
+  sim::Rng rng(1234);
+  trace.Record(rng.NextDouble());
+  trace.Record(trace.shuffler.rand());
+  return Status::Ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: pointer-order must fire on an ordered map/set keyed on a
+// pointer — address order is allocator-dependent and differs run to run.
+namespace fixture {
+
+std::map<Backend*, int> by_backend;
+std::set<const Node*> visited;
+
+}  // namespace fixture

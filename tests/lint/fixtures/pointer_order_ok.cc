@@ -1,0 +1,10 @@
+// Silent twin: pointers as mapped values are fine (only the key orders the
+// container), as are string/id keys and unordered pointer sets (flagged by
+// unordered-iteration only if iterated).
+namespace fixture {
+
+std::map<std::string, Backend*> by_name;
+std::set<std::uint64_t> ids;
+std::map<std::pair<int, int>, Node*> by_coord;
+
+}  // namespace fixture

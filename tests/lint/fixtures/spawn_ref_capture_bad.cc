@@ -1,0 +1,20 @@
+// Fixture: spawn-ref-capture must fire when a coroutine Spawn()s a lambda
+// that captures by reference — the detached frame can outlive this one.
+namespace fixture {
+
+sim::Task<> Driver(Pool pool) {
+  int completed = 0;
+  sim::Spawn([&]() -> sim::Task<> {
+    co_await pool.Drain();
+    ++completed;
+  });
+  co_await pool.Wait();
+}
+
+sim::Task<> NamedCapture(Pool pool) {
+  int completed = 0;
+  sim::Spawn([&completed]() -> sim::Task<> { ++completed; co_return; });
+  co_await pool.Wait();
+}
+
+}  // namespace fixture

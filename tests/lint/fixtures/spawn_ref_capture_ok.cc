@@ -1,0 +1,20 @@
+// Silent twin: by-value captures in a coroutine are fine, and Spawn from a
+// non-coroutine (main/test body that runs the sim to completion before its
+// locals unwind) is the sanctioned pattern and out of scope.
+namespace fixture {
+
+sim::Task<> Driver(Pool pool) {
+  sim::Spawn([pool]() -> sim::Task<> { co_await pool.Drain(); });
+  co_await pool.Wait();
+}
+
+void TestBody(Pool pool) {
+  int completed = 0;
+  sim::Spawn([&]() -> sim::Task<> {
+    co_await pool.Drain();
+    ++completed;
+  });
+  pool.sim.Run();
+}
+
+}  // namespace fixture

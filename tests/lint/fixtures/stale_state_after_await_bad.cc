@@ -1,0 +1,25 @@
+// Fixture: stale-state-after-await must fire when a coroutine consults
+// crashable state, suspends, and then mutates it without re-checking — the
+// PR 8 bug shape (a crash can land at any suspension point).
+namespace fixture {
+
+sim::Task<Status> SwapOut(Backend b) {
+  if (b.engine->state() == BackendState::kRunning) {
+    co_return Status::Ok();
+  }
+  co_await b.engine->PrepareForCheckpoint();
+  b.engine->MarkSwappedOut();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Finalize(Backend b) {
+  if (b.engine->state() != BackendState::kSwapping) {
+    co_return Status::Ok();
+  }
+  co_await b.done.Wait();
+  b.has_snapshot = true;
+  b.snapshot = 7;
+  co_return Status::Ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Silent twin: a re-check between the last co_await and the mutation (via
+// state()/alive() or an annotated helper) satisfies the rule, and a
+// `co_return co_await` tail call does not count as a preceding await.
+namespace fixture {
+
+// swaplint-recheck(EnsureNotCrashed)
+
+sim::Task<Status> SwapOut(Backend b) {
+  if (b.engine->state() == BackendState::kRunning) {
+    co_return Status::Ok();
+  }
+  co_await b.engine->PrepareForCheckpoint();
+  if (b.engine->state() == BackendState::kCrashed) {
+    co_return Unavailable("crashed mid-swap");
+  }
+  b.engine->MarkSwappedOut();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> WithHelper(Backend b) {
+  if (b.engine->state() != BackendState::kSwapping) {
+    co_return Status::Ok();
+  }
+  co_await b.done.Wait();
+  SWAP_CO_RETURN_IF_ERROR(EnsureNotCrashed(b));
+  b.has_snapshot = true;
+  b.snapshot = 7;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> TailCall(Backend b) {
+  if (b.engine->state() != BackendState::kRunning) {
+    co_return co_await ColdRestore(b);
+  }
+  b.engine->MarkSwappedOut();
+  co_return Status::Ok();
+}
+
+// Never read the state before suspending: the author relied on no
+// precondition, so there is nothing to go stale.
+sim::Task<Status> NeverRead(Backend b) {
+  co_await b.done.Wait();
+  b.engine->MarkSwappedOut();
+  co_return Status::Ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: swaplint-ok suppressions apply to the v2 rules with the same
+// same-line / line-above semantics as v1, and a mismatched rule name does
+// not suppress.
+namespace fixture {
+
+std::unordered_map<std::string, int> table;
+
+sim::Task<> Driver(Pool pool) {
+  int completed = 0;
+  // swaplint-ok(spawn-ref-capture): frame blocks on pool.Wait() below
+  sim::Spawn([&]() -> sim::Task<> { ++completed; co_return; });
+  co_await pool.Wait();
+}
+
+Status Sweep() {
+  // swaplint-ok(unordered-iteration): debug dump, order does not matter
+  for (const auto& kv : table) {
+    Touch(kv.first);
+  }
+  // swaplint-ok(pointer-order): wrong rule name, must not suppress this
+  for (const auto& kv : table) {
+    Touch(kv.first);
+  }
+  return Status::Ok();
+}
+
+sim::Task<Status> Finalize(Backend b) {
+  if (b.engine->state() != BackendState::kSwapping) {
+    co_return Status::Ok();
+  }
+  co_await b.done.Wait();
+  // swaplint-ok(stale-state-after-await): finalizer owns the state machine
+  b.engine->MarkSwappedOut();
+  co_return Status::Ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: unordered-iteration must fire on range-for over an unordered
+// container — hash order leaks into event order and breaks golden traces.
+namespace fixture {
+
+std::unordered_map<std::string, int> residents;
+
+Status Sweep(Registry& reg) {
+  for (const auto& kv : residents) {
+    Touch(kv.first);
+  }
+  for (auto& entry : reg.members->cache) {
+    Touch(entry.first);
+  }
+  return Status::Ok();
+}
+
+struct Registry {
+  struct Members {
+    std::unordered_set<std::string> cache;
+  };
+  Members* members;
+};
+
+}  // namespace fixture

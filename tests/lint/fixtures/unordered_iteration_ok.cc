@@ -1,0 +1,19 @@
+// Silent twin: ordered containers iterate deterministically, and the
+// sanctioned fix — iterating a sorted copy of the keys — involves a call
+// in the range expression and stays silent.
+namespace fixture {
+
+std::map<std::string, int> residents;
+std::unordered_map<std::string, int> cache;
+
+Status Sweep() {
+  for (const auto& kv : residents) {
+    Touch(kv.first);
+  }
+  for (const auto& key : SortedKeys(cache)) {
+    Touch(key);
+  }
+  return Status::Ok();
+}
+
+}  // namespace fixture

@@ -13,18 +13,22 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-// Extract every "swaplint-ok(rule)" marker from a comment's text.
-void ScanAnnotations(std::string_view comment, int line,
-                     std::vector<Annotation>& out) {
-  static constexpr std::string_view kMarker = "swaplint-ok(";
+// Extract every "<marker>(payload)" occurrence from a comment's text.
+void ScanMarker(std::string_view comment, std::string_view marker, int line,
+                std::vector<Annotation>& out) {
   std::size_t pos = 0;
-  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
-    pos += kMarker.size();
+  while ((pos = comment.find(marker, pos)) != std::string_view::npos) {
+    pos += marker.size();
     std::size_t close = comment.find(')', pos);
     if (close == std::string_view::npos) break;
     out.push_back({line, std::string(comment.substr(pos, close - pos))});
     pos = close + 1;
   }
+}
+
+void ScanAnnotations(std::string_view comment, int line, LexedFile& out) {
+  ScanMarker(comment, "swaplint-ok(", line, out.annotations);
+  ScanMarker(comment, "swaplint-recheck(", line, out.recheck_helpers);
 }
 
 }  // namespace
@@ -66,7 +70,7 @@ LexedFile Lex(std::string_view src) {
     if (c == '/' && peek(1) == '/') {
       std::size_t end = src.find('\n', i);
       if (end == std::string_view::npos) end = n;
-      ScanAnnotations(src.substr(i, end - i), line, out.annotations);
+      ScanAnnotations(src.substr(i, end - i), line, out);
       i = end;
       continue;
     }
@@ -77,16 +81,14 @@ LexedFile Lex(std::string_view src) {
       int cur = line;
       while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
         if (src[j] == '\n') {
-          ScanAnnotations(src.substr(line_start, j - line_start), cur,
-                          out.annotations);
+          ScanAnnotations(src.substr(line_start, j - line_start), cur, out);
           ++cur;
           line_start = j + 1;
         }
         ++j;
       }
       std::size_t end = (j + 1 < n) ? j + 2 : n;
-      ScanAnnotations(src.substr(line_start, end - line_start), cur,
-                      out.annotations);
+      ScanAnnotations(src.substr(line_start, end - line_start), cur, out);
       line = cur;
       i = end;
       continue;
@@ -106,7 +108,10 @@ LexedFile Lex(std::string_view src) {
       i = end;
       continue;
     }
-    // String / char literal.
+    // String / char literal. The text (quotes included) is kept: the
+    // fault-point-name rule matches registry entries against `"ns.point"`
+    // literals, and the quotes guarantee a literal can never be mistaken
+    // for punctuation by the balanced-delimiter scanners.
     if (c == '"' || c == '\'') {
       char quote = c;
       std::size_t j = i + 1;
@@ -115,8 +120,10 @@ LexedFile Lex(std::string_view src) {
         if (src[j] == '\n') ++line;  // unterminated; stay sane
         ++j;
       }
-      out.tokens.push_back({TokKind::kString, "", line});
-      i = (j < n) ? j + 1 : n;
+      std::size_t end = (j < n) ? j + 1 : n;
+      out.tokens.push_back(
+          {TokKind::kString, std::string(src.substr(i, end - i)), line});
+      i = end;
       continue;
     }
     if (IsIdentStart(c)) {
@@ -151,6 +158,15 @@ LexedFile Lex(std::string_view src) {
     }
     if (c == '&' && peek(1) == '&') {
       out.tokens.push_back({TokKind::kPunct, "&&", line});
+      i += 2;
+      continue;
+    }
+    // Fused two-char operators involving '=' so a lone "=" token is always
+    // an assignment (the stale-state and fault-point rules key on that).
+    // Shifts stay un-fused: ">>" must remain two ">" for template closers.
+    if (peek(1) == '=' && (c == '=' || c == '!' || c == '<' || c == '>' ||
+                           c == '+' || c == '-')) {
+      out.tokens.push_back({TokKind::kPunct, std::string{c, '='}, line});
       i += 2;
       continue;
     }

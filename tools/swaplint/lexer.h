@@ -18,8 +18,12 @@ namespace swaplint {
 enum class TokKind {
   kIdent,    // identifiers and keywords
   kNumber,   // numeric literals (value unused)
-  kString,   // string/char literals, contents dropped
-  kPunct,    // single-char punctuation, plus "::", "->", "&&"
+  kString,   // string/char literals; text keeps the surrounding quotes
+             // (so a literal can never collide with a punctuation match),
+             // raw-string contents are dropped
+  kPunct,    // single-char punctuation, plus "::", "->", "&&" and the
+             // fused comparison/compound-assignment operators ("==",
+             // "!=", "<=", ">=", "+=", "-=") so `=` is unambiguous
 };
 
 struct Token {
@@ -39,6 +43,10 @@ struct Annotation {
 struct LexedFile {
   std::vector<Token> tokens;
   std::vector<Annotation> annotations;
+  // `swaplint-recheck(<fn>)` markers: <fn> is registered tree-wide as a
+  // crash re-check helper for the stale-state-after-await rule (a call to
+  // it counts as re-reading crashable state, like `state()`/`alive()`).
+  std::vector<Annotation> recheck_helpers;
 };
 
 LexedFile Lex(std::string_view source);

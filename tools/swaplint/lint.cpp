@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <set>
+#include <sstream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace swaplint {
@@ -18,8 +19,41 @@ const std::set<std::string, std::less<>> kStmtSkipLead = {
 const std::set<std::string, std::less<>> kAcquireMethods = {
     "Acquire", "AcquireShared", "AcquireExclusive"};
 
+// Members that hold crashable swap state: mutating one after a suspension
+// point without a re-check is the PR 8 bug shape.
+const std::set<std::string, std::less<>> kCrashableMembers = {
+    "snapshot", "has_snapshot"};
+
+// Calls that count as reading crashable state; swaplint-recheck(<fn>)
+// annotations extend this set tree-wide.
+const std::set<std::string, std::less<>> kDefaultRecheckNames = {
+    "state", "alive"};
+
+const std::set<std::string, std::less<>> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string, std::less<>> kOrderedKeyedTypes = {
+    "map", "set", "multimap", "multiset"};
+
+// Files where unordered iteration is deliberate (debug-only diagnostics
+// whose output never feeds event ordering).
+const char* const kUnorderedIterationAllowlist[] = {"sim/lock_debug"};
+
+// The identifier whose brace initializer in src/fault/fault_points.h is
+// the canonical fault-point registry.
+constexpr std::string_view kRegistryIdent = "kFaultPointRegistry";
+
 bool IsTok(const std::vector<Token>& t, std::size_t i, std::string_view s) {
   return i < t.size() && t[i].text == s;
+}
+
+bool IsMemberSep(const std::vector<Token>& t, std::size_t i) {
+  return IsTok(t, i, ".") || IsTok(t, i, "->");
+}
+
+bool IsChainSep(const std::vector<Token>& t, std::size_t i) {
+  return IsMemberSep(t, i) || IsTok(t, i, "::");
 }
 
 // Index just past the matching closer for the opener at `i`.
@@ -31,6 +65,32 @@ std::size_t SkipBalanced(const std::vector<Token>& t, std::size_t i,
     else if (t[i].text == close && --depth == 0) return i + 1;
   }
   return t.size();
+}
+
+// Quoted string literal -> contents ("\"ns.point\"" -> "ns.point").
+std::string StripQuotes(const std::string& text) {
+  if (text.size() >= 2 && (text.front() == '"' || text.front() == '\'')) {
+    return text.substr(1, text.size() - 2);
+  }
+  return text;
+}
+
+// A fault-point name: lowercase `ns.point` (exactly one dot, both halves
+// [a-z0-9_]). Owner strings and span names never match this shape at the
+// checked sites.
+bool LooksLikePointName(std::string_view s) {
+  std::size_t dot = s.find('.');
+  if (dot == 0 || dot == std::string_view::npos || dot + 1 >= s.size()) {
+    return false;
+  }
+  if (s.find('.', dot + 1) != std::string_view::npos) return false;
+  for (char c : s) {
+    if (c == '.') continue;
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return true;
 }
 
 struct FnDecl {
@@ -61,7 +121,7 @@ std::vector<FnDecl> FindFunctions(const std::vector<Token>& t) {
            t[head - 2].kind == TokKind::kIdent) {
       head -= 2;
     }
-    if (head > 0 && (IsTok(t, head - 1, ".") || IsTok(t, head - 1, "->"))) {
+    if (head > 0 && IsMemberSep(t, head - 1)) {
       continue;
     }
 
@@ -127,9 +187,107 @@ void CollectOtherReturns(const std::vector<Token>& t,
     const Token& prev = t[i - 1];
     if (prev.kind != TokKind::kIdent) continue;
     if (kNotATypePrefix.count(prev.text) > 0) continue;
-    if (i >= 2 && (IsTok(t, i - 2, ".") || IsTok(t, i - 2, "->"))) continue;
+    if (i >= 2 && IsMemberSep(t, i - 2)) continue;
     out.insert(t[i].text);
   }
+}
+
+// Variable/member names declared with an unordered container type, plus
+// functions returning one (iterating the returned temporary is just as
+// order-sensitive). Collected tree-wide like the symbol index.
+void CollectUnorderedNames(const std::vector<Token>& t,
+                           std::set<std::string>& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || kUnorderedTypes.count(t[i].text) == 0) {
+      continue;
+    }
+    if (!IsTok(t, i + 1, "<")) continue;
+    std::size_t j = SkipBalanced(t, i + 1, "<", ">");
+    if (j < t.size() && t[j].kind == TokKind::kIdent) out.insert(t[j].text);
+  }
+}
+
+// --- Per-function model -----------------------------------------------------
+//
+// A lightweight model of one function body, built on demand on top of the
+// symbol index: suspension points, lambda captures, and call sites (as
+// identifier chains). The new rule families pattern-match against this
+// instead of re-walking raw tokens.
+
+struct LambdaSite {
+  std::size_t intro_open = 0;   // '['
+  std::size_t intro_close = 0;  // ']'
+  bool by_ref = false;          // [&] default or any &x capture
+  int line = 0;
+};
+
+struct CallSite {
+  std::size_t base_tok = 0;  // head of the identifier chain
+  std::size_t name_tok = 0;  // callee (chain terminal); '(' follows
+  bool member_chain = false;  // every separator was '.'/'->' (not '::')
+  int line = 0;
+};
+
+struct FunctionModel {
+  std::vector<std::size_t> awaits;  // co_await token indices in the body
+  std::vector<LambdaSite> lambdas;
+  std::vector<CallSite> calls;
+};
+
+bool IsLambdaIntro(const std::vector<Token>& t, std::size_t i) {
+  if (!IsTok(t, i, "[")) return false;
+  // [[attribute]] or nested opener of one.
+  if (IsTok(t, i + 1, "[") || (i > 0 && IsTok(t, i - 1, "["))) return false;
+  // Subscript: previous token produces a value.
+  if (i > 0 && (t[i - 1].kind == TokKind::kIdent ||
+                t[i - 1].kind == TokKind::kString ||
+                t[i - 1].kind == TokKind::kNumber || IsTok(t, i - 1, ")") ||
+                IsTok(t, i - 1, "]"))) {
+    return false;
+  }
+  return true;
+}
+
+FunctionModel BuildModel(const std::vector<Token>& t, const FnDecl& fn) {
+  FunctionModel m;
+  for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
+    if (t[i].kind == TokKind::kIdent) {
+      if (t[i].text == "co_await") {
+        // `co_return co_await f()` ends the path: nothing later in the
+        // body runs after this suspension, so it is not a preceding await
+        // for the stale-state analysis.
+        if (!IsTok(t, i - 1, "co_return")) m.awaits.push_back(i);
+        continue;
+      }
+      // Chain head: an identifier not preceded by a separator.
+      if (i > 0 && IsChainSep(t, i - 1)) continue;
+      std::size_t j = i;
+      bool member_only = true;
+      while (j + 2 < fn.body_close && IsChainSep(t, j + 1) &&
+             t[j + 2].kind == TokKind::kIdent) {
+        if (!IsMemberSep(t, j + 1)) member_only = false;
+        j += 2;
+      }
+      if (IsTok(t, j + 1, "(")) {
+        m.calls.push_back({i, j, member_only, t[j].line});
+      }
+      continue;
+    }
+    if (IsLambdaIntro(t, i)) {
+      LambdaSite lam;
+      lam.intro_open = i;
+      lam.intro_close = SkipBalanced(t, i, "[", "]") - 1;
+      lam.line = t[i].line;
+      int paren = 0;
+      for (std::size_t k = i + 1; k < lam.intro_close; ++k) {
+        if (t[k].text == "(") ++paren;
+        else if (t[k].text == ")") --paren;
+        else if (paren == 0 && t[k].text == "&") lam.by_ref = true;
+      }
+      m.lambdas.push_back(lam);
+    }
+  }
+  return m;
 }
 
 // One statement-level span inside a function body: [begin, end) where the
@@ -179,10 +337,8 @@ bool ParseLockAcquire(const std::vector<Token>& t, const Stmt& s,
     // The awaited expression must end `. <method> ( ... )` at span end.
     std::size_t dot = 0;
     for (std::size_t j = i + 2; j + 2 < s.end; ++j) {
-      if ((IsTok(t, j, ".") || IsTok(t, j, "->")) &&
-          t[j + 1].kind == TokKind::kIdent &&
-          kAcquireMethods.count(t[j + 1].text) > 0 &&
-          IsTok(t, j + 2, "(")) {
+      if (IsMemberSep(t, j) && t[j + 1].kind == TokKind::kIdent &&
+          kAcquireMethods.count(t[j + 1].text) > 0 && IsTok(t, j + 2, "(")) {
         dot = j;
       }
     }
@@ -208,8 +364,7 @@ std::size_t GuardLiveEnd(const std::vector<Token>& t, std::size_t from,
                          std::size_t scope_close, const std::string& guard) {
   for (std::size_t i = from; i < scope_close; ++i) {
     if (t[i].text != guard) continue;
-    if ((IsTok(t, i + 1, ".") || IsTok(t, i + 1, "->")) &&
-        IsTok(t, i + 2, "Release")) {
+    if (IsMemberSep(t, i + 1) && IsTok(t, i + 2, "Release")) {
       return i;
     }
     if (i >= 2 && IsTok(t, i - 1, "(") && IsTok(t, i - 2, "move")) return i;
@@ -231,17 +386,57 @@ std::size_t EnclosingScopeClose(const std::vector<Token>& t,
   return SkipBalanced(t, stack.back(), "{", "}") - 1;
 }
 
+// A fault-point registry entry with its declaration site (for coverage
+// diagnostics).
+struct RegistryEntry {
+  std::string name;
+  int line = 0;
+};
+
+std::vector<RegistryEntry> ExtractRegistryEntries(
+    const std::vector<Token>& t) {
+  std::vector<RegistryEntry> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != kRegistryIdent) continue;
+    // Find the initializer brace within the next few tokens ("[] = {").
+    std::size_t open = i + 1;
+    while (open < t.size() && open < i + 8 && !IsTok(t, open, "{")) ++open;
+    if (!IsTok(t, open, "{")) continue;
+    std::size_t close = SkipBalanced(t, open, "{", "}") - 1;
+    for (std::size_t j = open + 1; j < close && j < t.size(); ++j) {
+      if (t[j].kind == TokKind::kString) {
+        out.push_back({StripQuotes(t[j].text), t[j].line});
+      }
+    }
+    break;  // one registry per file
+  }
+  return out;
+}
+
+// Shared index built by pass 1 over every added file.
+struct TreeIndex {
+  std::set<std::string> task_fns;
+  std::set<std::string> status_fns;
+  std::set<std::string> unordered_names;
+  std::set<std::string> recheck_names = [] {
+    std::set<std::string> s;
+    for (const auto& n : kDefaultRecheckNames) s.insert(std::string(n));
+    return s;
+  }();
+  std::vector<RegistryEntry> registry;
+  std::set<std::string, std::less<>> registry_names;
+  std::string registry_file;
+  const std::vector<Annotation>* registry_annotations = nullptr;
+};
+
 class RuleRunner {
  public:
   RuleRunner(const std::string& path, const LexedFile& file,
-             const std::set<std::string>& task_fns,
-             const std::set<std::string>& status_fns,
-             std::vector<Diagnostic>& out)
+             const TreeIndex& index, std::vector<Diagnostic>& out)
       : path_(path),
         toks_(file.tokens),
         anns_(file.annotations),
-        task_fns_(task_fns),
-        status_fns_(status_fns),
+        index_(index),
         out_(out) {}
 
   void Run() {
@@ -250,9 +445,18 @@ class RuleRunner {
       if (fn.returns_task) CheckRefParams(fn);
       if (fn.body_open != 0) {
         CheckStatements(fn);
-        if (fn.returns_task) CheckGuardsAndOrder(fn);
+        if (fn.returns_task) {
+          CheckGuardsAndOrder(fn);
+          FunctionModel model = BuildModel(toks_, fn);
+          CheckSpawnRefCapture(fn, model);
+          CheckStaleState(fn, model);
+        }
       }
     }
+    CheckFaultPointNames();
+    CheckUnorderedIteration();
+    CheckNondeterministicSources();
+    CheckPointerOrder();
   }
 
  private:
@@ -301,7 +505,7 @@ class RuleRunner {
       // Walk an identifier chain: a (:: . ->)-separated member path.
       std::size_t i = s.begin;
       std::size_t last_ident = i;
-      while (i + 1 < s.end && t_is_sep(i + 1) &&
+      while (i + 1 < s.end && IsChainSep(toks_, i + 1) &&
              toks_[i + 2].kind == TokKind::kIdent) {
         i += 2;
         last_ident = i;
@@ -309,12 +513,12 @@ class RuleRunner {
       if (!IsTok(toks_, i + 1, "(")) continue;
       if (SkipBalanced(toks_, i + 1, "(", ")") != s.end) continue;
       const std::string& callee = toks_[last_ident].text;
-      if (task_fns_.count(callee) > 0) {
+      if (index_.task_fns.count(callee) > 0) {
         Emit("unawaited-task", first.line,
              "result of Task-returning '" + callee +
                  "' is neither co_await-ed nor Spawn-ed; lazy tasks never "
                  "run when dropped");
-      } else if (status_fns_.count(callee) > 0) {
+      } else if (index_.status_fns.count(callee) > 0) {
         Emit("discarded-status", first.line,
              "Status/Result of '" + callee +
                  "' is dropped; consume it or cast to (void) with a reason");
@@ -379,12 +583,257 @@ class RuleRunner {
     }
   }
 
-  bool t_is_sep(std::size_t i) const {
-    return IsTok(toks_, i, "::") || IsTok(toks_, i, ".") ||
-           IsTok(toks_, i, "->");
+  // Rule: spawn-ref-capture. Scoped to Spawn calls lexically inside a
+  // Task-returning coroutine body: a detached lambda borrowing from a frame
+  // that can itself be suspended/destroyed (the PR 8 crash interleavings).
+  // Spawning from main()/test bodies that run the simulation to completion
+  // before unwinding is the sanctioned pattern and stays out of scope.
+  void CheckSpawnRefCapture(const FnDecl& fn, const FunctionModel& model) {
+    for (const CallSite& call : model.calls) {
+      if (toks_[call.name_tok].text != "Spawn") continue;
+      std::size_t open = call.name_tok + 1;  // '('
+      if (!IsTok(toks_, open + 1, "[")) continue;
+      for (const LambdaSite& lam : model.lambdas) {
+        if (lam.intro_open != open + 1) continue;
+        if (!lam.by_ref) break;
+        Emit("spawn-ref-capture", call.line,
+             "Spawn()ed lambda in coroutine '" + fn.name +
+                 "' captures by reference; the detached frame outlives any "
+                 "suspension point of this coroutine (PR 8 crash class) -- "
+                 "capture by value, or block on a completion event and "
+                 "annotate why the borrow is safe",
+             {lam.line});
+        break;
+      }
+    }
   }
 
-  // The SwapOver idiom sorts/swaps lock operands by name before acquiring.
+  // Rule: stale-state-after-await. For every mutation of crashable state
+  // (a Mark*() transition or a snapshot-handle assignment through a member
+  // chain), the base object's state must have been re-read between the
+  // last preceding suspension point and the mutation -- given the
+  // coroutine consulted that state earlier (the author relied on a
+  // precondition that every co_await can invalidate).
+  void CheckStaleState(const FnDecl& fn, const FunctionModel& model) {
+    struct Event {
+      std::size_t pos;
+      bool is_read;
+      std::string base;
+      std::string what;  // for the message (mutations only)
+      int line;
+    };
+    std::vector<Event> events;
+
+    for (const CallSite& call : model.calls) {
+      const std::string& callee = toks_[call.name_tok].text;
+      if (call.base_tok != call.name_tok && call.member_chain) {
+        if (index_.recheck_names.count(callee) > 0) {
+          events.push_back({call.name_tok, true,
+                            toks_[call.base_tok].text, "", call.line});
+        } else if (callee.size() > 4 && callee.compare(0, 4, "Mark") == 0) {
+          events.push_back({call.name_tok, false, toks_[call.base_tok].text,
+                            callee + "()", call.line});
+        }
+      } else if (call.base_tok == call.name_tok &&
+                 index_.recheck_names.count(callee) > 0 &&
+                 kDefaultRecheckNames.count(callee) == 0) {
+        // Annotated free-function helper: every identifier it is handed
+        // counts as re-checked.
+        std::size_t close = SkipBalanced(toks_, call.name_tok + 1, "(", ")");
+        for (std::size_t j = call.name_tok + 2; j + 1 < close; ++j) {
+          if (toks_[j].kind == TokKind::kIdent) {
+            events.push_back({call.name_tok, true, toks_[j].text, "",
+                              call.line});
+          }
+        }
+      }
+    }
+    // Crashable-member assignments: `<chain>.snapshot = ...`.
+    for (std::size_t i = fn.body_open + 2; i + 2 < fn.body_close; ++i) {
+      if (!IsMemberSep(toks_, i)) continue;
+      if (toks_[i + 1].kind != TokKind::kIdent ||
+          kCrashableMembers.count(toks_[i + 1].text) == 0 ||
+          !IsTok(toks_, i + 2, "=")) {
+        continue;
+      }
+      std::size_t k = i - 1;  // chain tail ident; walk back to the head
+      while (k >= 2 && IsMemberSep(toks_, k - 1) &&
+             toks_[k - 2].kind == TokKind::kIdent) {
+        k -= 2;
+      }
+      if (toks_[k].kind != TokKind::kIdent) continue;
+      events.push_back({i + 1, false, toks_[k].text,
+                        "." + toks_[i + 1].text + " assignment",
+                        toks_[i + 1].line});
+    }
+
+    for (const Event& mut : events) {
+      if (mut.is_read) continue;
+      // Latest suspension point before the mutation.
+      std::size_t last_await = 0;
+      bool has_await = false;
+      for (std::size_t a : model.awaits) {
+        if (a < mut.pos) {
+          last_await = a;
+          has_await = true;
+        }
+      }
+      if (!has_await) continue;
+      bool rechecked = false;
+      bool read_before = false;
+      for (const Event& ev : events) {
+        if (!ev.is_read || ev.base != mut.base) continue;
+        if (ev.pos > last_await && ev.pos < mut.pos) rechecked = true;
+        if (ev.pos < last_await) read_before = true;
+      }
+      if (rechecked || !read_before) continue;
+      Emit("stale-state-after-await", mut.line,
+           "'" + mut.base + "' (" + mut.what +
+               ") is mutated after a co_await without re-checking its "
+               "state; a crash can land at any suspension point (PR 8 "
+               "class) -- re-check state()/alive() (or a swaplint-recheck "
+               "helper) after the last co_await");
+    }
+  }
+
+  // Rule: fault-point-name. Every `"ns.point"` literal at an injector
+  // Evaluate()/fires() call or a `point = "..."` assignment must be a
+  // registered fault point: a typo here silently never fires.
+  void CheckFaultPointNames() {
+    if (index_.registry_names.empty()) return;
+    auto check_literal = [&](const Token& tok) {
+      const std::string name = StripQuotes(tok.text);
+      if (!LooksLikePointName(name)) return;
+      if (index_.registry_names.count(name) > 0) return;
+      Emit("fault-point-name", tok.line,
+           "\"" + name +
+               "\" is not a registered fault point "
+               "(src/fault/fault_points.h); a typo'd point never fires");
+    };
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].kind != TokKind::kIdent) continue;
+      const std::string& name = toks_[i].text;
+      if ((name == "Evaluate" || name == "fires") &&
+          IsTok(toks_, i + 1, "(")) {
+        std::size_t close = SkipBalanced(toks_, i + 1, "(", ")");
+        for (std::size_t j = i + 2; j + 1 < close; ++j) {
+          if (toks_[j].kind == TokKind::kString) check_literal(toks_[j]);
+        }
+      } else if (name == "point" && IsTok(toks_, i + 1, "=") &&
+                 i + 2 < toks_.size() &&
+                 toks_[i + 2].kind == TokKind::kString) {
+        check_literal(toks_[i + 2]);
+      }
+    }
+  }
+
+  // Rule: unordered-iteration. Range-for over an unordered container:
+  // hash-order iteration leaks into event order and breaks golden traces.
+  void CheckUnorderedIteration() {
+    for (const char* allow : kUnorderedIterationAllowlist) {
+      if (path_.find(allow) != std::string::npos) return;
+    }
+    for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
+      if (toks_[i].kind != TokKind::kIdent || toks_[i].text != "for" ||
+          !IsTok(toks_, i + 1, "(")) {
+        continue;
+      }
+      std::size_t close = SkipBalanced(toks_, i + 1, "(", ")") - 1;
+      // Find the range-for ':' at paren depth 1.
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j <= close && j < toks_.size(); ++j) {
+        if (toks_[j].text == "(") ++depth;
+        else if (toks_[j].text == ")") --depth;
+        else if (toks_[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      // The range expression must BE the container -- a bare identifier
+      // chain ending at an unordered name. Anything involving a call
+      // (`SortedKeys(table)`, `table.Values()`) is the sanctioned fix
+      // shape and stays silent.
+      std::size_t j = colon + 1;
+      while (j < close && (toks_[j].text == "*" || toks_[j].text == "&")) {
+        ++j;
+      }
+      if (j >= close || toks_[j].kind != TokKind::kIdent) continue;
+      while (j + 2 < close && IsChainSep(toks_, j + 1) &&
+             toks_[j + 2].kind == TokKind::kIdent) {
+        j += 2;
+      }
+      if (j + 1 != close) continue;
+      if (index_.unordered_names.count(toks_[j].text) > 0) {
+        Emit("unordered-iteration", toks_[i].line,
+             "range-for over unordered container '" + toks_[j].text +
+                 "'; hash-order iteration leaks into event order and "
+                 "breaks golden-trace determinism -- use an ordered "
+                 "container or sort the keys first");
+      }
+    }
+  }
+
+  // Rule: nondeterministic-source. Wall-clock and unseeded entropy have no
+  // place outside the seeded fault streams.
+  void CheckNondeterministicSources() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (toks_[i].kind != TokKind::kIdent) continue;
+      const std::string& name = toks_[i].text;
+      if (name == "system_clock") {
+        Emit("nondeterministic-source", toks_[i].line,
+             "std::chrono::system_clock is wall-clock; virtual time comes "
+             "from sim::Simulation::Now()");
+      } else if (name == "random_device") {
+        Emit("nondeterministic-source", toks_[i].line,
+             "std::random_device is unseeded entropy; draw from the seeded "
+             "sim::Rng streams");
+      } else if ((name == "rand" || name == "srand") &&
+                 IsTok(toks_, i + 1, "(") &&
+                 !(i > 0 && IsMemberSep(toks_, i - 1))) {
+        Emit("nondeterministic-source", toks_[i].line,
+             name + "() is unseeded global entropy; draw from the seeded "
+                    "sim::Rng streams");
+      }
+    }
+  }
+
+  // Rule: pointer-order. An ordered map/set keyed on a pointer orders by
+  // allocator-dependent addresses: iteration order differs run to run.
+  void CheckPointerOrder() {
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].kind != TokKind::kIdent ||
+          kOrderedKeyedTypes.count(toks_[i].text) == 0 ||
+          !IsTok(toks_, i + 1, "<")) {
+        continue;
+      }
+      // Scan the first template argument (up to a depth-1 ',' or the
+      // closing '>') for a top-level '*'.
+      int angle = 0;
+      int paren = 0;
+      for (std::size_t j = i + 1; j < toks_.size(); ++j) {
+        const std::string& x = toks_[j].text;
+        if (x == "<") ++angle;
+        else if (x == ">") {
+          if (--angle == 0) break;
+        } else if (x == "(") ++paren;
+        else if (x == ")") --paren;
+        else if (angle == 1 && paren == 0) {
+          if (x == ",") break;
+          if (x == "*") {
+            Emit("pointer-order", toks_[j].line,
+                 "ordered std::" + toks_[i].text +
+                     " keyed on a pointer; address order is allocator-"
+                     "dependent and differs run to run -- key on a stable "
+                     "name/id instead");
+            break;
+          }
+        }
+      }
+    }
+  }
+
   bool HasOrderingMarker(const FnDecl& fn, std::size_t before) const {
     for (std::size_t i = fn.body_open; i < before; ++i) {
       if (toks_[i].kind != TokKind::kIdent) continue;
@@ -399,8 +848,7 @@ class RuleRunner {
   const std::string& path_;
   const std::vector<Token>& toks_;
   const std::vector<Annotation>& anns_;
-  const std::set<std::string>& task_fns_;
-  const std::set<std::string>& status_fns_;
+  const TreeIndex& index_;
   std::vector<Diagnostic>& out_;
 };
 
@@ -410,6 +858,11 @@ const std::vector<RuleInfo>& Rules() {
   static const std::vector<RuleInfo> kRules = {
       {"coro-ref-param",
        "no reference/pointer parameters on Task<>-returning coroutines"},
+      {"spawn-ref-capture",
+       "no by-reference lambda captures on Spawn() inside a coroutine"},
+      {"stale-state-after-await",
+       "crashable state is re-checked between the last co_await and its "
+       "mutation"},
       {"unawaited-task",
        "every Task<> call is co_await-ed or passed to Spawn"},
       {"discarded-status", "Status/Result results are consumed, not dropped"},
@@ -417,39 +870,171 @@ const std::vector<RuleInfo>& Rules() {
        "SimMutex::Guard is not held across an unrelated co_await"},
       {"lock-order",
        "multi-lock acquisitions follow the name-ordered convention"},
+      {"fault-point-name",
+       "every \"ns.point\" literal at Evaluate/point= sites is a registered "
+       "fault point"},
+      {"fault-point-coverage",
+       "every registered fault point is armed by some chaos table"},
+      {"unordered-iteration",
+       "no range-for over unordered containers outside allowlisted "
+       "debug code"},
+      {"nondeterministic-source",
+       "no wall-clock (system_clock) or unseeded entropy "
+       "(random_device/rand)"},
+      {"pointer-order", "no ordered map/set keyed on a pointer type"},
   };
   return kRules;
+}
+
+std::vector<std::string> ExtractFaultPointNames(std::string_view content) {
+  LexedFile lexed = Lex(content);
+  std::vector<std::string> out;
+  for (RegistryEntry& e : ExtractRegistryEntries(lexed.tokens)) {
+    out.push_back(std::move(e.name));
+  }
+  return out;
+}
+
+std::vector<std::string> UnarmedFaultPoints(
+    const std::vector<std::string>& registry,
+    const std::vector<std::string_view>& chaos_contents) {
+  std::set<std::string> armed;
+  for (std::string_view content : chaos_contents) {
+    LexedFile lexed = Lex(content);
+    for (const Token& tok : lexed.tokens) {
+      if (tok.kind == TokKind::kString) armed.insert(StripQuotes(tok.text));
+    }
+  }
+  std::vector<std::string> out;
+  for (const std::string& point : registry) {
+    if (armed.count(point) == 0) out.push_back(point);
+  }
+  return out;
+}
+
+std::string BaselineKey(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "]";
+}
+
+std::string SerializeBaseline(const std::vector<Diagnostic>& diags) {
+  std::string out =
+      "# swaplint baseline: known findings that do not fail the sweep.\n"
+      "# Regenerate with `swaplint --write-baseline <file> <roots>...`.\n";
+  for (const Diagnostic& d : diags) out += BaselineKey(d) + "\n";
+  return out;
+}
+
+std::set<std::string> ParseBaseline(std::string_view text) {
+  std::set<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (!line.empty() && line.front() != '#') out.insert(std::string(line));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::size_t ApplyBaseline(std::vector<Diagnostic>& diags,
+                          const std::set<std::string>& baseline) {
+  std::size_t before = diags.size();
+  diags.erase(std::remove_if(diags.begin(), diags.end(),
+                             [&](const Diagnostic& d) {
+                               return baseline.count(BaselineKey(d)) > 0;
+                             }),
+              diags.end());
+  return before - diags.size();
 }
 
 void Linter::AddFile(std::string path, std::string_view content) {
   files_.push_back({std::move(path), Lex(content)});
 }
 
+void Linter::AddChaosFile(std::string /*path*/, std::string_view content) {
+  chaos_contents_.emplace_back(content);
+}
+
 std::vector<Diagnostic> Linter::Run() {
-  // Pass 1: discover Task- and Status/Result-returning function names
-  // across the whole tree so call sites in other files resolve.
-  std::set<std::string> task_fns;
-  std::set<std::string> status_fns;
+  // Pass 1: discover Task- and Status/Result-returning function names,
+  // unordered-container names, re-check helpers, and the fault-point
+  // registry across the whole tree so call sites in other files resolve.
+  TreeIndex index;
   std::set<std::string> other_fns;
   for (const FileData& f : files_) {
     for (const FnDecl& fn : FindFunctions(f.lexed.tokens)) {
-      (fn.returns_task ? task_fns : status_fns).insert(fn.name);
+      (fn.returns_task ? index.task_fns : index.status_fns).insert(fn.name);
     }
     CollectOtherReturns(f.lexed.tokens, other_fns);
+    CollectUnorderedNames(f.lexed.tokens, index.unordered_names);
+    for (const Annotation& a : f.lexed.recheck_helpers) {
+      index.recheck_names.insert(a.rule);
+    }
+    if (index.registry.empty()) {
+      std::vector<RegistryEntry> found =
+          ExtractRegistryEntries(f.lexed.tokens);
+      if (!found.empty()) {
+        index.registry = std::move(found);
+        index.registry_file = f.path;
+        index.registry_annotations = &f.lexed.annotations;
+        for (const RegistryEntry& e : index.registry) {
+          index.registry_names.insert(e.name);
+        }
+      }
+    }
   }
   // A name that is both (overloads across classes) counts as a task: the
   // stricter diagnostic wins. Names that also resolve to some unrelated
   // return type stay silent entirely.
-  for (const std::string& name : task_fns) status_fns.erase(name);
+  for (const std::string& name : index.task_fns) {
+    index.status_fns.erase(name);
+  }
   for (const std::string& name : other_fns) {
-    task_fns.erase(name);
-    status_fns.erase(name);
+    index.task_fns.erase(name);
+    index.status_fns.erase(name);
   }
 
   std::vector<Diagnostic> out;
   for (const FileData& f : files_) {
-    RuleRunner(f.path, f.lexed, task_fns, status_fns, out).Run();
+    RuleRunner(f.path, f.lexed, index, out).Run();
   }
+
+  // Registry <-> chaos-table coverage: a point nothing arms means a whole
+  // failure mode the 100-seed suites never exercise.
+  if (!chaos_contents_.empty() && !index.registry.empty()) {
+    std::vector<std::string_view> views(chaos_contents_.begin(),
+                                        chaos_contents_.end());
+    std::vector<std::string> reg;
+    for (const RegistryEntry& e : index.registry) reg.push_back(e.name);
+    for (const std::string& point : UnarmedFaultPoints(reg, views)) {
+      int line = 0;
+      for (const RegistryEntry& e : index.registry) {
+        if (e.name == point) line = e.line;
+      }
+      bool suppressed = false;
+      if (index.registry_annotations != nullptr) {
+        for (const Annotation& a : *index.registry_annotations) {
+          if (a.rule == "fault-point-coverage" &&
+              (a.line == line || a.line == line - 1)) {
+            suppressed = true;
+          }
+        }
+      }
+      if (!suppressed) {
+        out.push_back({index.registry_file, line, "fault-point-coverage",
+                       "fault point \"" + point +
+                           "\" is registered but no chaos table arms it; "
+                           "the failure mode is never exercised"});
+      }
+    }
+  }
+
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
