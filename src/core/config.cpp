@@ -37,6 +37,39 @@ Result<Config> Config::FromJson(const json::Value& doc) {
         global->GetDouble("host_cache_mib", cfg.global.host_cache_mib);
     cfg.global.snapshot_prefetch =
         global->GetBool("snapshot_prefetch", cfg.global.snapshot_prefetch);
+    cfg.global.stream_tokens =
+        global->GetBool("stream_tokens", cfg.global.stream_tokens);
+    cfg.global.stream_chunk_tokens = global->GetInt(
+        "stream_chunk_tokens", cfg.global.stream_chunk_tokens);
+  }
+
+  if (const json::Value* adm = doc.Find("admission"); adm != nullptr) {
+    if (!adm->is_object()) {
+      return InvalidArgument("config: \"admission\" must be an object");
+    }
+    AdmissionConfig& a = cfg.admission;
+    a.enabled = adm->GetBool("enabled", a.enabled);
+    a.default_budget_s = adm->GetDouble("default_budget_s",
+                                        a.default_budget_s);
+    if (const json::Value* budgets = adm->Find("class_budget_s");
+        budgets != nullptr) {
+      if (!budgets->is_object()) {
+        return InvalidArgument(
+            "config: \"admission.class_budget_s\" must be an object mapping "
+            "SLO class to seconds");
+      }
+      for (const auto& [cls, budget] : budgets->AsObject()) {
+        if (!budget.is_number()) {
+          return InvalidArgument("config: admission budget for class \"" +
+                                 cls + "\" must be a number");
+        }
+        a.class_budget_s[cls] = budget.AsDouble();
+      }
+    }
+    a.ewma_alpha = adm->GetDouble("ewma_alpha", a.ewma_alpha);
+    a.initial_service_s = adm->GetDouble("initial_service_s",
+                                         a.initial_service_s);
+    a.swap_penalty_s = adm->GetDouble("swap_penalty_s", a.swap_penalty_s);
   }
 
   if (const json::Value* fault = doc.Find("fault"); fault != nullptr) {
@@ -200,6 +233,29 @@ Status Config::Validate(const model::ModelCatalog& catalog,
   if (global.host_cache_mib / 1024.0 > global.snapshot_budget_gib) {
     return InvalidArgument(
         "config: host_cache_mib exceeds snapshot_budget_gib");
+  }
+  if (global.stream_chunk_tokens < 1) {
+    return InvalidArgument("config: stream_chunk_tokens must be >= 1");
+  }
+  if (admission.default_budget_s <= 0) {
+    return InvalidArgument(
+        "config: admission.default_budget_s must be positive");
+  }
+  for (const auto& [cls, budget] : admission.class_budget_s) {
+    if (budget <= 0) {
+      return InvalidArgument("config: admission budget for class \"" + cls +
+                             "\" must be positive");
+    }
+  }
+  if (admission.ewma_alpha <= 0 || admission.ewma_alpha > 1) {
+    return InvalidArgument("config: admission.ewma_alpha out of (0, 1]");
+  }
+  if (admission.initial_service_s <= 0) {
+    return InvalidArgument(
+        "config: admission.initial_service_s must be positive");
+  }
+  if (admission.swap_penalty_s < 0) {
+    return InvalidArgument("config: admission.swap_penalty_s must be >= 0");
   }
   for (const fault::FaultRule& r : fault.plan.rules) {
     if (!fault::IsRegisteredFaultPoint(r.point)) {

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,36 @@ struct GlobalConfig {
   // urgently, when its swap-in starts — overlapping the promotion with the
   // victim's D2H eviction. Only meaningful with host_cache_mib > 0.
   bool snapshot_prefetch = false;
+  // SSE-style token streaming (§16): workers deliver per-chunk token
+  // events through the response channel as the engine decodes, instead of
+  // one burst at completion. Off by default — the burst path produces the
+  // exact event schedule older builds did.
+  bool stream_tokens = false;
+  std::int64_t stream_chunk_tokens = 16;  // tokens per streamed chunk
+};
+
+// SLO-aware admission control (§16). Off by default: Accept() behaves
+// exactly as before (capacity-based rejection only) and the controller is
+// never constructed, so default-config runs are byte-identical. When
+// enabled, each request's estimated queueing delay — queue depth times an
+// EWMA of observed per-request service time, plus a swap penalty when the
+// backend is not resident — is compared against the request's SLO-class
+// budget, and requests that would blow the budget are shed up front
+// (HTTP 429 + Retry-After in the real system) instead of timing out in
+// the queue.
+struct AdmissionConfig {
+  bool enabled = false;
+  // Queue-delay budget for requests whose slo_class has no explicit entry
+  // (including the empty class).
+  double default_budget_s = 2.0;
+  // Per-SLO-class budget overrides, e.g. {"interactive": 0.5, "batch": 30}.
+  std::map<std::string, double> class_budget_s;
+  // EWMA smoothing for observed service times, and the prior used before
+  // the first observation of a model.
+  double ewma_alpha = 0.2;
+  double initial_service_s = 0.5;
+  // Added to the delay estimate when the backend must swap in first.
+  double swap_penalty_s = 0.0;
 };
 
 // Multi-node cluster topology (src/cluster). With nodes == 1 (the default)
@@ -150,13 +181,16 @@ struct Config {
   FaultConfig fault;
   RecoveryConfig recovery;
   ClusterConfig cluster;
+  AdmissionConfig admission;
 
   // Parse from a JSON document of the shape
   //   {"global": {...}, "models": [{...}, ...],
   //    "fault": {"seed": N, "rules": [{"point": "ckpt.swap_in",
   //              "probability": 0.05, "code": "UNAVAILABLE", ...}]},
   //    "recovery": {...},
-  //    "cluster": {"nodes": N, "node_gpus": [...], ...}}.
+  //    "cluster": {"nodes": N, "node_gpus": [...], ...},
+  //    "admission": {"enabled": true, "default_budget_s": 2,
+  //                  "class_budget_s": {"interactive": 0.5}, ...}}.
   static Result<Config> FromJson(const json::Value& doc);
   static Result<Config> FromJsonText(std::string_view text);
 

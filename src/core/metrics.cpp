@@ -51,6 +51,15 @@ void Metrics::RecordRejected(const std::string& model) {
   CountRequest(obs_, model, "rejected");
 }
 
+void Metrics::RecordShed(const std::string& model,
+                         const std::string& slo_class) {
+  ++per_model_[model].shed;
+  CountRequest(obs_, model, "shed");
+  obs::IncCounter(obs_, "swapserve_admission_shed_total",
+                  {{"model", model},
+                   {"slo_class", slo_class.empty() ? "default" : slo_class}});
+}
+
 void Metrics::RecordFailed(const std::string& model) {
   ++per_model_[model].failed;
   CountRequest(obs_, model, "failed");
@@ -138,6 +147,12 @@ std::uint64_t Metrics::TotalCompleted() const {
 std::uint64_t Metrics::TotalRejected() const {
   std::uint64_t total = 0;
   for (const auto& [model, m] : per_model_) total += m.rejected;
+  return total;
+}
+
+std::uint64_t Metrics::TotalShed() const {
+  std::uint64_t total = 0;
+  for (const auto& [model, m] : per_model_) total += m.shed;
   return total;
 }
 

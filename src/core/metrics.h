@@ -25,6 +25,7 @@ struct ModelMetrics {
   Samples swap_wait_s;     // swap-in wait within TTFT (0 when resident)
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;   // queue full
+  std::uint64_t shed = 0;       // admission control: delay budget exceeded
   std::uint64_t failed = 0;     // engine/timeout errors
   std::uint64_t expired = 0;    // client gone before service started
   std::uint64_t served_resident = 0;  // no swap needed
@@ -51,6 +52,9 @@ class Metrics {
                        double total_s, double swap_wait_s,
                        std::int64_t output_tokens);
   void RecordRejected(const std::string& model);
+  // Admission control shed the request before it was queued (429 with a
+  // Retry-After in the real system); slo_class may be empty.
+  void RecordShed(const std::string& model, const std::string& slo_class);
   void RecordFailed(const std::string& model);
   void RecordExpired(const std::string& model);
 
@@ -101,6 +105,7 @@ class Metrics {
   // Aggregates across models.
   std::uint64_t TotalCompleted() const;
   std::uint64_t TotalRejected() const;
+  std::uint64_t TotalShed() const;
   std::uint64_t TotalFailed() const;
   std::uint64_t TotalExpired() const;
   std::int64_t TotalOutputTokens() const;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/admission.h"
 #include "util/log.h"
 
 namespace swapserve::core {
@@ -123,12 +124,40 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
       .temperature = item.request.temperature,
       .seed = item.request.seed,
   };
+  // SSE streaming (§16): relay each decode chunk to the client as it is
+  // produced. Only wired when both the server and the request opted in —
+  // an unset callback keeps the engine on its single-delay decode, so
+  // non-streaming schedules are byte-identical to the pre-streaming code.
+  std::int64_t streamed_tokens = 0;
+  if (stream_enabled_ && item.request.stream) {
+    gen.stream_chunk_tokens = stream_chunk_tokens_;
+    gen.on_tokens = [this, &item, &streamed_tokens](std::int64_t tokens) {
+      ResponseChunk chunk;
+      chunk.kind = streamed_tokens == 0 ? ResponseChunk::Kind::kFirstToken
+                                        : ResponseChunk::Kind::kTokens;
+      chunk.token_count = tokens;
+      streamed_tokens += tokens;
+      (void)item.response->TrySend(std::move(chunk));
+      obs::IncCounter(obs_, "swapserve_stream_chunks_total",
+                      {{"model", backend_.name()}});
+    };
+  }
   const double serve_start_s = sim_.Now().ToSeconds();
   Result<engine::GenerationResult> result =
       co_await backend_.engine->Generate(gen);
   pin->Release();
 
   if (!result.ok()) {
+    if (streamed_tokens > 0) {
+      // Tokens already reached the client; a retry would replay them.
+      // The failure is terminal for this request, exactly like a real
+      // server that cannot un-send part of an SSE stream.
+      obs::Instant(obs_, "stream:aborted", "worker", backend_.name(),
+                   {{"request_id", std::to_string(item.request.id)}});
+      metrics_.RecordFailed(backend_.name());
+      RespondError(item, result.status().ToString());
+      co_return;
+    }
     // A mid-request engine crash surfaces here; the requeued attempt finds
     // the backend kCrashed and rides the scheduler's retry/requeue window
     // while the supervisor restarts it.
@@ -142,15 +171,17 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
                         result->time_to_first_token.ToSeconds();
   const double total_s = sim_.Now().ToSeconds() - arrival;
 
-  ResponseChunk first;
-  first.kind = ResponseChunk::Kind::kFirstToken;
-  first.token_count = 1;
-  (void)item.response->TrySend(std::move(first));
-  if (result->output_tokens > 1) {
-    ResponseChunk body;
-    body.kind = ResponseChunk::Kind::kTokens;
-    body.token_count = result->output_tokens - 1;
-    (void)item.response->TrySend(std::move(body));
+  if (streamed_tokens == 0) {
+    ResponseChunk first;
+    first.kind = ResponseChunk::Kind::kFirstToken;
+    first.token_count = 1;
+    (void)item.response->TrySend(std::move(first));
+    if (result->output_tokens > 1) {
+      ResponseChunk body;
+      body.kind = ResponseChunk::Kind::kTokens;
+      body.token_count = result->output_tokens - 1;
+      (void)item.response->TrySend(std::move(body));
+    }
   }
   ResponseChunk done;
   done.kind = ResponseChunk::Kind::kDone;
@@ -161,6 +192,12 @@ sim::Task<> ModelWorker::Relay(QueuedRequest item) {
   (void)item.response->TrySend(std::move(done));
   item.response->Close();
 
+  if (admission_ != nullptr) {
+    // Feed the EWMA with generation-only service time: swap waits are
+    // modelled separately by the controller's swap_penalty_s knob.
+    admission_->ObserveService(backend_.name(),
+                               sim_.Now().ToSeconds() - serve_start_s);
+  }
   metrics_.RecordCompleted(backend_.name(), ttft_s, total_s, swap_wait_s,
                            result->output_tokens);
 }

@@ -5,6 +5,8 @@
 
 #pragma once
 
+#include <cstdint>
+
 #include "core/backend.h"
 #include "core/metrics.h"
 #include "core/scheduler.h"
@@ -15,6 +17,8 @@
 #include "sim/task.h"
 
 namespace swapserve::core {
+
+class AdmissionController;
 
 class ModelWorker {
  public:
@@ -62,6 +66,23 @@ class ModelWorker {
     rng_ = sim::Rng(seed);
   }
 
+  // SSE-style token streaming (§16): when enabled and the request asked
+  // for a stream, the engine's decode is split into chunk_tokens-sized
+  // slices and each slice is relayed to the response channel as it is
+  // produced, instead of one burst at completion. Default off — the
+  // non-streaming schedule (one decode delay, three chunks at the end)
+  // is the golden-trace baseline.
+  void ConfigureStreaming(bool enabled, std::int64_t chunk_tokens) {
+    stream_enabled_ = enabled;
+    stream_chunk_tokens_ = chunk_tokens;
+  }
+
+  // Feed the admission controller's per-model EWMA with observed service
+  // times on completion (nullable).
+  void BindAdmission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+
  private:
   sim::Task<> Run();
   sim::Task<> Relay(QueuedRequest item);
@@ -84,6 +105,9 @@ class ModelWorker {
   fault::RetryPolicy backoff_;
   int request_retries_ = 2;
   sim::Rng rng_{0x5eedu};
+  bool stream_enabled_ = false;
+  std::int64_t stream_chunk_tokens_ = 16;
+  AdmissionController* admission_ = nullptr;
 };
 
 }  // namespace swapserve::core

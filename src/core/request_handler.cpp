@@ -23,6 +23,37 @@ Result<ResponseChannelPtr> RequestHandler::Accept(InferenceRequest request) {
     return NotFound("model " + request.model + " is not served");
   }
 
+  // SLO-aware admission (§16): shed before the request touches the queue
+  // when its estimated queueing delay exceeds the SLO-class budget. The
+  // "request.admit" chaos point can force a shed the estimator would not
+  // have taken (fail-only; the synchronous path ignores stalls).
+  if (admission_ != nullptr) {
+    AdmissionController::Decision decision =
+        admission_->Check(*backend, request);
+    std::string shed_reason;
+    if (!decision.admit) {
+      shed_reason = "estimated queue delay " +
+                    std::to_string(decision.estimated_delay_s) +
+                    "s exceeds budget " + std::to_string(decision.budget_s) +
+                    "s";
+    } else {
+      fault::FaultDecision f =
+          fault::Evaluate(fault_, "request.admit", request.model);
+      if (!f.status.ok()) shed_reason = f.status.message();
+    }
+    if (!shed_reason.empty()) {
+      admission_->RecordOutcome(request.tenant, /*admitted=*/false);
+      metrics_.RecordShed(request.model, request.slo_class);
+      obs::Instant(obs_, "shed:admission", "handler", request.model,
+                   {{"slo_class", request.slo_class.empty()
+                                      ? "default"
+                                      : request.slo_class}});
+      return ResourceExhausted("admission: " + request.model + ": " +
+                               shed_reason);
+    }
+    admission_->RecordOutcome(request.tenant, /*admitted=*/true);
+  }
+
   // Metadata stamps (§4.1): arrival time and backend utilization tracking.
   request.id = request.id != 0 ? request.id : NextRequestId();
   request.arrival_time_s = sim_.Now().ToSeconds();

@@ -9,10 +9,12 @@
 #include <map>
 #include <string>
 
+#include "core/admission.h"
 #include "core/backend.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/types.h"
+#include "fault/fault_injector.h"
 #include "sim/simulation.h"
 #include "util/status.h"
 
@@ -40,6 +42,19 @@ class RequestHandler {
   // Emit admission instants + per-model queue-depth gauges (nullable).
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
 
+  // SLO-aware admission control (nullable; §16). When bound, Accept()
+  // sheds requests whose estimated queueing delay exceeds their SLO-class
+  // budget before they touch the queue.
+  void BindAdmission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+  // Chaos hook for the "request.admit" fault point (nullable; fail-only —
+  // Accept is synchronous, stalls are ignored). Only consulted when an
+  // admission controller is bound.
+  void BindFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   // Fired after a request is queued for a backend — the earliest demand
   // signal, used to start promoting a demoted snapshot before the
   // scheduler even looks at the backend.
@@ -49,6 +64,8 @@ class RequestHandler {
 
  private:
   obs::Observability* obs_ = nullptr;
+  AdmissionController* admission_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   sim::Simulation& sim_;
   GlobalConfig global_;
   Metrics& metrics_;

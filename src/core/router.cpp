@@ -1,6 +1,9 @@
 #include "core/router.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "json/stream_parser.h"
 
 namespace swapserve::core {
 
@@ -31,6 +34,123 @@ std::int64_t OpenAiRouter::EstimatePromptTokens(const json::Value& messages) {
   return std::max<std::int64_t>(1, chars / 4 + message_count * 4);
 }
 
+std::int64_t OpenAiRouter::EstimatePromptTokens(json::Document::View messages) {
+  if (!messages.is_array()) return 1;
+  std::int64_t chars = 0;
+  std::int64_t message_count = 0;
+  for (json::Document::View msg = messages.FirstChild(); msg;
+       msg = msg.NextSibling()) {
+    if (!msg.is_object()) continue;
+    ++message_count;
+    const json::Document::View content = msg.Find("content");
+    if (!content.valid()) continue;
+    if (content.is_string()) {
+      chars += static_cast<std::int64_t>(content.AsString().size());
+    } else if (content.is_array()) {
+      for (json::Document::View part = content.FirstChild(); part;
+           part = part.NextSibling()) {
+        if (!part.is_object()) continue;
+        const json::Document::View text = part.Find("text");
+        if (text.is_string()) {
+          chars += static_cast<std::int64_t>(text.AsString().size());
+        }
+      }
+    }
+  }
+  return std::max<std::int64_t>(1, chars / 4 + message_count * 4);
+}
+
+namespace {
+
+// SAX estimator: walks the messages array as an event stream, tracking
+// just enough context (root array -> message object -> content array ->
+// part object) to count the same characters the DOM walk counts.
+class EstimateHandler : public json::SaxHandler {
+ public:
+  bool root_is_array() const { return saw_root_array_; }
+  std::int64_t chars() const { return chars_; }
+  std::int64_t message_count() const { return message_count_; }
+
+  bool OnNull() override { return true; }
+  bool OnBool(bool) override { return true; }
+  bool OnNumber(double, bool, std::int64_t) override { return true; }
+
+  bool OnKey(std::string_view key) override {
+    frames_.back().key.assign(key);
+    return true;
+  }
+
+  bool OnString(std::string_view s) override {
+    if (frames_.empty()) return true;  // root scalar: nothing to count
+    const Frame& top = frames_.back();
+    const bool msg_content = top.ctx == Ctx::kMessage && top.key == "content";
+    const bool part_text = top.ctx == Ctx::kPart && top.key == "text";
+    if (msg_content || part_text) {
+      chars_ += static_cast<std::int64_t>(s.size());
+    }
+    return true;
+  }
+
+  bool OnStartObject() override {
+    Ctx ctx = Ctx::kOther;
+    if (!frames_.empty()) {
+      if (frames_.back().ctx == Ctx::kRoot) {
+        ctx = Ctx::kMessage;
+        ++message_count_;
+      } else if (frames_.back().ctx == Ctx::kContent) {
+        ctx = Ctx::kPart;
+      }
+    }
+    frames_.push_back(Frame{ctx, {}});
+    return true;
+  }
+  bool OnEndObject(std::size_t) override {
+    frames_.pop_back();
+    return true;
+  }
+
+  bool OnStartArray() override {
+    Ctx ctx = Ctx::kOther;
+    if (frames_.empty()) {
+      ctx = Ctx::kRoot;
+      saw_root_array_ = true;
+    } else if (frames_.back().ctx == Ctx::kMessage &&
+               frames_.back().key == "content") {
+      ctx = Ctx::kContent;
+    }
+    frames_.push_back(Frame{ctx, {}});
+    return true;
+  }
+  bool OnEndArray(std::size_t) override {
+    frames_.pop_back();
+    return true;
+  }
+
+ private:
+  enum class Ctx { kRoot, kMessage, kContent, kPart, kOther };
+  struct Frame {
+    Ctx ctx = Ctx::kOther;
+    std::string key;  // last key seen in this frame ("content", "text")
+  };
+  std::vector<Frame> frames_;
+  bool saw_root_array_ = false;
+  std::int64_t chars_ = 0;
+  std::int64_t message_count_ = 0;
+};
+
+}  // namespace
+
+std::int64_t OpenAiRouter::EstimatePromptTokensText(
+    std::string_view messages_json) {
+  EstimateHandler handler;
+  if (!json::ParseSax(messages_json, handler).ok() ||
+      !handler.root_is_array()) {
+    return 1;
+  }
+  return std::max<std::int64_t>(
+      1, handler.chars() / 4 + handler.message_count() * 4);
+}
+
 Result<ResponseChannelPtr> OpenAiRouter::ChatCompletions(
     const std::string& body_json, const std::string& bearer_token) {
   obs::Span api_span = obs::StartSpan(obs_, "router.chat_completions",
@@ -52,26 +172,30 @@ Result<ResponseChannelPtr> OpenAiRouter::ChatCompletions(
 
   obs::Span validate_span =
       obs::StartSpan(obs_, "validate", "router", "router");
-  Result<json::Value> parsed = json::Parse(body_json);
-  if (!parsed.ok()) return fail("invalid", parsed.status());
-  json::Value body = std::move(*parsed);
+  // In-situ parse through the router's scratch buffer: assign() reuses
+  // capacity, the Document recycles its node arena, and every string the
+  // validation below reads is a view into scratch_.
+  scratch_.assign(body_json);
+  Status parsed = doc_.ParseInSitu(scratch_);
+  if (!parsed.ok()) return fail("invalid", parsed);
+  const json::Document::View body = doc_.root();
   if (!body.is_object()) {
     return fail("invalid",
                 InvalidArgument("request body must be a JSON object"));
   }
 
-  const std::string model = body.GetString("model", "");
+  const std::string_view model = body.GetString("model", "");
   if (model.empty()) {
     return fail("invalid", InvalidArgument("missing required field: model"));
   }
 
-  const json::Value* messages = body.Find("messages");
-  if (messages == nullptr || !messages->is_array() ||
-      messages->AsArray().empty()) {
+  const json::Document::View messages = body.Find("messages");
+  if (!messages.is_array() || messages.size() == 0) {
     return fail("invalid",
                 InvalidArgument("messages must be a non-empty array"));
   }
-  for (const json::Value& msg : messages->AsArray()) {
+  for (json::Document::View msg = messages.FirstChild(); msg;
+       msg = msg.NextSibling()) {
     if (!msg.is_object() || msg.GetString("role", "").empty()) {
       return fail("invalid", InvalidArgument("each message needs a role"));
     }
@@ -89,16 +213,18 @@ Result<ResponseChannelPtr> OpenAiRouter::ChatCompletions(
   validate_span.End();
 
   InferenceRequest request;
-  request.model = model;
-  request.prompt_tokens = EstimatePromptTokens(*messages);
+  request.model.assign(model);
+  request.prompt_tokens = EstimatePromptTokens(messages);
   request.max_tokens = max_tokens;
   request.temperature = temperature;
   request.seed = static_cast<std::uint64_t>(body.GetInt("seed", 0));
   request.stream = body.GetBool("stream", true);
+  request.tenant.assign(body.GetString("user", ""));
+  request.slo_class.assign(body.GetString("slo_class", ""));
 
   obs::Span enqueue_span =
       obs::StartSpan(obs_, "enqueue", "router", "router");
-  enqueue_span.AddArg("model", model);
+  enqueue_span.AddArg("model", request.model);
   Result<ResponseChannelPtr> accepted = handler_.Accept(std::move(request));
   if (!accepted.ok()) {
     const bool full = accepted.status().code() == StatusCode::kResourceExhausted;

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "core/request_handler.h"
 #include "core/types.h"
+#include "json/document.h"
 #include "json/json.h"
 #include "util/status.h"
 
@@ -28,7 +30,12 @@ class OpenAiRouter {
   //   INVALID_ARGUMENT  - malformed/unsupported payload (HTTP 400)
   //   UNAUTHENTICATED is modelled as FAILED_PRECONDITION (HTTP 401)
   //   NOT_FOUND         - unknown model (HTTP 404)
-  //   RESOURCE_EXHAUSTED- queue full (HTTP 429)
+  //   RESOURCE_EXHAUSTED- queue full or admission shed (HTTP 429)
+  //
+  // The body is parsed with the zero-copy in-situ parser (§16) through a
+  // router-owned scratch buffer, so steady-state request validation does
+  // not allocate per string. Not reentrant: one parse per router at a
+  // time, which matches the simulator's synchronous dispatch.
   [[nodiscard]] Result<ResponseChannelPtr> ChatCompletions(
       const std::string& body_json, const std::string& bearer_token = "");
 
@@ -45,7 +52,14 @@ class OpenAiRouter {
   // both plain string content and OpenAI content-part arrays (each part's
   // "text" field counts); non-string scalar content is ignored. A value
   // that is not an array of messages estimates to the 1-token floor.
+  // The three overloads agree by construction (one rule set) and by test
+  // (tests/property pins DOM == in-situ == SAX on generated payloads).
   static std::int64_t EstimatePromptTokens(const json::Value& messages);
+  static std::int64_t EstimatePromptTokens(json::Document::View messages);
+  // Streaming form: estimates straight off the messages-array JSON text
+  // through the SAX parser, no tree of any kind. Malformed JSON estimates
+  // to the 1-token floor (the router validates before estimating).
+  static std::int64_t EstimatePromptTokensText(std::string_view messages_json);
 
   // Emit auth/validate/enqueue spans and outcome counters (nullable).
   void BindObservability(obs::Observability* obs) { obs_ = obs; }
@@ -53,6 +67,11 @@ class OpenAiRouter {
  private:
   RequestHandler& handler_;
   obs::Observability* obs_ = nullptr;
+  // In-situ parse state, reused across requests: the body is copied into
+  // scratch_ (capacity persists) and doc_'s node arena is recycled, so a
+  // warm router parses with zero steady-state allocations.
+  std::string scratch_;
+  json::Document doc_;
 };
 
 }  // namespace swapserve::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/sse.h"
 #include "engine/factory.h"
 #include "util/log.h"
 
@@ -66,6 +67,16 @@ SwapServe::SwapServe(sim::Simulation& sim, Config config,
     fault_injector_.Configure(config_.fault.plan);
   }
   fault_injector_.BindObservability(&obs_);
+
+  // SLO-aware admission (§16): the controller only exists when enabled, so
+  // default configs never consult it and stay byte-identical. The fault
+  // injector hook ("request.admit") is likewise only evaluated when an
+  // admission controller is bound.
+  if (config_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(config_.admission);
+    handler_.BindAdmission(admission_.get());
+    handler_.BindFaultInjector(&fault_injector_);
+  }
   snapshot_store_.BindFaultInjector(&fault_injector_);
   ckpt_engine_.BindFaultInjector(&fault_injector_);
   for (hw::GpuDevice* gpu : hardware_.gpus) {
@@ -207,6 +218,9 @@ sim::Task<Status> SwapServe::Initialize() {
         MakeRetryPolicy(config_.recovery),
         config_.recovery.request_retry_attempts,
         DeriveSeed(config_.fault.seed, "worker." + backend->name()));
+    workers_.back()->ConfigureStreaming(config_.global.stream_tokens,
+                                        config_.global.stream_chunk_tokens);
+    workers_.back()->BindAdmission(admission_.get());
     workers_.back()->Start();
   }
   monitor_->Start();
@@ -288,6 +302,48 @@ sim::Task<ChatResult> SwapServe::ChatAndWait(std::string model_id,
     co_return failed;
   }
   co_return co_await CollectResponse(*channel);
+}
+
+// swaplint-ok(coro-ref-param): sse_events is caller-owned; awaited to completion before read
+sim::Task<ChatResult> SwapServe::ChatAndStream(
+    std::string model_id, std::int64_t prompt_tokens,
+    std::int64_t max_tokens, std::vector<std::string>* sse_events) {
+  InferenceRequest request;
+  request.model = model_id;
+  request.prompt_tokens = prompt_tokens;
+  request.max_tokens = max_tokens;
+  request.stream = true;
+  request.id = handler_.NextRequestId();
+  SseEncoder encoder(request.id, model_id);
+  Result<ResponseChannelPtr> channel = handler_.Accept(std::move(request));
+  if (!channel.ok()) {
+    ChatResult failed;
+    failed.ok = false;
+    failed.error = channel.status().ToString();
+    co_return failed;
+  }
+  ChatResult result;
+  while (std::optional<ResponseChunk> chunk = co_await (*channel)->Recv()) {
+    if (sse_events != nullptr) sse_events->push_back(encoder.Encode(*chunk));
+    switch (chunk->kind) {
+      case ResponseChunk::Kind::kFirstToken:
+      case ResponseChunk::Kind::kTokens:
+        result.output_tokens += chunk->token_count;
+        break;
+      case ResponseChunk::Kind::kDone:
+        result.ok = true;
+        result.ttft_s = chunk->ttft_s;
+        result.total_s = chunk->total_s;
+        result.swap_wait_s = chunk->swap_wait_s;
+        break;
+      case ResponseChunk::Kind::kError:
+        result.ok = false;
+        result.error = chunk->error;
+        break;
+    }
+  }
+  if (sse_events != nullptr) sse_events->push_back(SseEncoder::Done());
+  co_return result;
 }
 
 Backend* SwapServe::backend(const std::string& model_id) {

@@ -17,6 +17,7 @@
 #include "ckpt/snapshot_store.h"
 #include "ckpt/snapshot_tier.h"
 #include "core/admin.h"
+#include "core/admission.h"
 #include "core/backend.h"
 #include "core/config.h"
 #include "core/engine_controller.h"
@@ -78,6 +79,18 @@ class SwapServe {
                                     std::int64_t prompt_tokens,
                                     std::int64_t max_tokens);
 
+  // Streaming variant (§16): submit with stream=true and render every
+  // response chunk through the SSE encoder into `sse_events` (nullable;
+  // one "data: {...}\n\n" frame per chunk plus the "data: [DONE]\n\n"
+  // terminator). Token chunks arrive as they are decoded when
+  // global.stream_tokens is on; otherwise the frames collapse to the
+  // non-streaming burst, same framing either way.
+  // swaplint-ok(coro-ref-param): sse_events is caller-owned; awaited to completion before read
+  sim::Task<ChatResult> ChatAndStream(std::string model_id,
+                                      std::int64_t prompt_tokens,
+                                      std::int64_t max_tokens,
+                                      std::vector<std::string>* sse_events);
+
   // Await all chunks from a response channel.
   static sim::Task<ChatResult> CollectResponse(ResponseChannelPtr channel);
 
@@ -105,6 +118,9 @@ class SwapServe {
   fault::FaultInjector& fault_injector() { return fault_injector_; }
   // Null unless recovery.health_check_interval_s > 0.
   EngineSupervisor* supervisor() { return supervisor_.get(); }
+  // Null unless admission.enabled (the default path never consults it, so
+  // admission-off runs are byte-identical to the pre-admission code).
+  AdmissionController* admission() { return admission_.get(); }
   // Fleet failover hooks (cluster::Node::Crash/Boot): park or resume every
   // model worker so a powered-off node consumes nothing from its queues.
   void PauseWorkers();
@@ -133,6 +149,7 @@ class SwapServe {
   std::unique_ptr<hw::GpuMonitor> monitor_;
   std::unique_ptr<IdleReaper> idle_reaper_;  // null unless configured
   std::unique_ptr<EngineSupervisor> supervisor_;  // null unless configured
+  std::unique_ptr<AdmissionController> admission_;  // null unless enabled
 
   std::vector<std::unique_ptr<Backend>> backends_;
   std::vector<std::unique_ptr<ModelWorker>> workers_;

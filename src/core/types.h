@@ -26,6 +26,11 @@ struct InferenceRequest {
   // Optional client deadline: if serving has not *started* by this virtual
   // time the worker drops the request (client disconnect / timeout).
   double deadline_s = 0;  // 0 = none
+  // Admission-control identity (§16): OpenAI "user" field and the SLO
+  // class the tenant's requests are budgeted under. Both optional; empty
+  // slo_class falls back to the default queue-delay budget.
+  std::string tenant;
+  std::string slo_class;
 };
 
 struct ResponseChunk {

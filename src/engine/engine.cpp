@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/log.h"
@@ -219,8 +220,25 @@ sim::Task<Result<GenerationResult>> InferenceEngine::Generate(
     std::vector<hw::GpuDevice::BusyScope> busy;
     busy.reserve(gpus.size());
     for (hw::GpuDevice* dev : gpus) busy.emplace_back(*dev);
-    co_await sim().Delay(
-        sim::Seconds(token_s * static_cast<double>(req.output_tokens)));
+    if (!req.on_tokens) {
+      // Non-streaming: one event for the whole decode, exactly the
+      // schedule older builds produced.
+      co_await sim().Delay(
+          sim::Seconds(token_s * static_cast<double>(req.output_tokens)));
+    } else {
+      const std::int64_t chunk = std::max<std::int64_t>(
+          1, req.stream_chunk_tokens);
+      std::int64_t remaining = req.output_tokens;
+      while (remaining > 0) {
+        const std::int64_t n = std::min(chunk, remaining);
+        co_await sim().Delay(sim::Seconds(token_s * static_cast<double>(n)));
+        if (restart_epoch_ != epoch) {
+          co_return Internal("backend " + name_ + " crashed mid-request");
+        }
+        remaining -= n;
+        req.on_tokens(n);
+      }
+    }
   }
   if (restart_epoch_ != epoch) {
     co_return Internal("backend " + name_ + " crashed mid-request");

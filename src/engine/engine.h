@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +85,12 @@ struct GenerationRequest {
   std::int64_t output_tokens = 0;  // pre-sampled ground-truth length
   double temperature = 0.0;        // paper sets 0 for determinism
   std::uint64_t seed = 0;
+  // SSE token streaming (§16): when set, the decode phase is split into
+  // chunks of `stream_chunk_tokens` tokens and the callback fires after
+  // each chunk's delay elapses. When null (the default) decode stays one
+  // event, so non-streaming schedules are byte-identical to older builds.
+  std::function<void(std::int64_t tokens)> on_tokens = nullptr;
+  std::int64_t stream_chunk_tokens = 16;
 };
 
 struct GenerationResult {

@@ -63,6 +63,11 @@
 //   node.restart     a node reboot fails to come back up; each failure
 //                    waits another node_restart_s and retries, so a
 //                    probability below 1 recovers eventually
+//   request.admit    the admission controller sheds a request it would
+//                    have admitted (owner = model; fail-only: Accept is
+//                    synchronous, stalls are ignored). Only evaluated when
+//                    admission control is enabled, so fault-free default
+//                    configs never reach the injector from this site
 
 #pragma once
 
@@ -87,6 +92,7 @@ inline constexpr std::string_view kFaultPointRegistry[] = {
     "node.crash",
     "node.partition",
     "node.restart",
+    "request.admit",
 };
 
 constexpr bool IsRegisteredFaultPoint(std::string_view point) {

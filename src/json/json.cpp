@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "json/text.h"
+
 namespace swapserve::json {
 
 Value::Value(Array a)
@@ -119,42 +121,6 @@ bool Value::operator==(const Value& other) const {
 
 namespace {
 
-void EscapeString(const std::string& s, std::string& out) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-void AppendNumber(double d, std::string& out) {
-  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
-    out += buf;
-  } else {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", d);
-    out += buf;
-  }
-}
-
 void Indent(std::string& out, int indent, int depth) {
   if (indent <= 0) return;
   out += '\n';
@@ -172,10 +138,10 @@ void Value::DumpTo(std::string& out, int indent, int depth) const {
       out += bool_ ? "true" : "false";
       break;
     case Type::kNumber:
-      AppendNumber(number_, out);
+      AppendJsonNumber(number_, out);
       break;
     case Type::kString:
-      EscapeString(string_, out);
+      AppendJsonEscaped(string_, out);
       break;
     case Type::kArray: {
       out += '[';
@@ -197,7 +163,7 @@ void Value::DumpTo(std::string& out, int indent, int depth) const {
         if (!first) out += ',';
         first = false;
         Indent(out, indent, depth + 1);
-        EscapeString(key, out);
+        AppendJsonEscaped(key, out);
         out += indent > 0 ? ": " : ":";
         v.DumpTo(out, indent, depth + 1);
       }
@@ -361,35 +327,27 @@ class Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Error("short \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Error("invalid hex digit in \\u escape");
+            if (!ReadHex4(code)) return Error("invalid \\u escape");
+            if (IsLowSurrogate(code)) {
+              return Error("lone low surrogate in \\u escape");
+            }
+            if (IsHighSurrogate(code)) {
+              // Supplementary plane: the high surrogate must be followed
+              // immediately by \uDC00-\uDFFF; anything else is malformed.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate in \\u escape");
               }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!ReadHex4(low)) return Error("invalid \\u escape");
+              if (!IsLowSurrogate(low)) {
+                return Error("invalid low surrogate in \\u escape");
+              }
+              code = CombineSurrogates(code, low);
             }
-            // UTF-8 encode (BMP only; surrogates are rejected).
-            if (code >= 0xD800 && code <= 0xDFFF) {
-              return Error("surrogate pairs not supported");
-            }
-            if (code < 0x80) {
-              out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            }
+            AppendUtf8(code, out);
             break;
           }
           default:
@@ -404,25 +362,27 @@ class Parser {
     return Error("unterminated string");
   }
 
-  Result<Value> ParseNumber() {
-    const std::size_t start = pos_;
-    if (Consume('-')) {
+  bool ReadHex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return false;
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int h = HexDigit(text_[pos_++]);
+      if (h < 0) return false;
+      code = (code << 4) | static_cast<unsigned>(h);
     }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return Error("invalid number");
-    return Value(d);
+    return true;
   }
 
-  static constexpr int kMaxDepth = 256;
+  Result<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && IsNumberChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected a value");
+    const NumberToken num = DecodeNumber(text_.substr(start, pos_ - start));
+    if (!num.ok) return Error("invalid number");
+    return Value(num.d);
+  }
+
+  static constexpr int kMaxDepth = kMaxParseDepth;
   std::string_view text_;
   std::size_t pos_ = 0;
   int depth_ = 0;

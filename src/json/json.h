@@ -1,9 +1,16 @@
-// Minimal JSON value model, parser, and serializer.
+// JSON value model (DOM), parser, and serializer.
 //
 // Used for SwapServeLLM configuration files (§3.2) and OpenAI-compatible
-// request/response payloads (§4.1). Implements RFC 8259 minus \u surrogate
-// pairs beyond the BMP (sufficient for config and API bodies); numbers are
-// stored as double with an integer fast path preserved on output.
+// request/response payloads (§4.1). Implements RFC 8259 including \u
+// surrogate pairs beyond the BMP (lone/inverted surrogates are rejected);
+// numbers are stored as double with an integer fast path preserved on
+// output, and the number grammar is strict (leading zeros, bare dots, and
+// overflow-to-infinity are parse errors).
+//
+// This is the correctness-first, allocation-per-node DOM. The request hot
+// path uses the zero-copy siblings that share its dialect exactly:
+// document.h (in-situ Document borrowing slices from a caller-owned
+// buffer) and stream_parser.h (SAX callbacks with incremental feed).
 
 #pragma once
 

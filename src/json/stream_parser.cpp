@@ -1,0 +1,348 @@
+#include "json/stream_parser.h"
+
+#include "json/text.h"
+
+namespace swapserve::json {
+
+namespace {
+
+bool IsWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+std::string_view LiteralFor(char first) {
+  switch (first) {
+    case 't': return "true";
+    case 'f': return "false";
+    default: return "null";
+  }
+}
+
+}  // namespace
+
+Status StreamParser::Fail(const std::string& what) {
+  error_ = InvalidArgument("json parse error at offset " +
+                           std::to_string(offset_) + ": " + what);
+  return error_;
+}
+
+Status StreamParser::Cancel() {
+  error_ = Cancelled("json parse cancelled by handler");
+  return error_;
+}
+
+void StreamParser::Reset() {
+  error_ = Status::Ok();
+  state_ = State::kValue;
+  lex_ = Lex::kNone;
+  stack_.clear();
+  offset_ = 0;
+  str_ = Str::kPlain;
+  string_is_key_ = false;
+  clean_ = false;
+  clean_start_ = 0;
+  hex_code_ = 0;
+  hex_count_ = 0;
+  pending_high_ = 0;
+  scratch_.clear();
+}
+
+Status StreamParser::OnValueDone() {
+  if (stack_.empty()) {
+    state_ = State::kDone;
+  } else {
+    Frame& top = stack_.back();
+    ++top.count;
+    state_ = top.object ? State::kObjectNext : State::kArrayNext;
+  }
+  return Status::Ok();
+}
+
+Status StreamParser::CloseString(std::string_view data) {
+  lex_ = Lex::kNone;
+  clean_ = false;
+  if (string_is_key_) {
+    if (!handler_->OnKey(data)) return Cancel();
+    state_ = State::kObjectColon;
+    return Status::Ok();
+  }
+  if (!handler_->OnString(data)) return Cancel();
+  return OnValueDone();
+}
+
+Status StreamParser::FinishNumber() {
+  const NumberToken num = DecodeNumber(scratch_);
+  if (!num.ok) return Fail("invalid number");
+  lex_ = Lex::kNone;
+  if (!handler_->OnNumber(num.d, num.is_int, num.i)) return Cancel();
+  return OnValueDone();
+}
+
+Status StreamParser::FinishLiteral() {
+  // Literals complete eagerly at full length inside the feed loop, so any
+  // token still in Lex::kLiteral here is a truncated "true"/"false"/"null".
+  return Fail("invalid literal");
+}
+
+void StreamParser::BreakCleanSlice(std::string_view chunk, std::size_t index) {
+  if (!clean_) return;
+  scratch_.assign(chunk.data() + clean_start_, index - clean_start_);
+  clean_ = false;
+}
+
+Status StreamParser::ConsumeStringChar(char c, std::string_view chunk,
+                                       std::size_t index) {
+  switch (str_) {
+    case Str::kPlain:
+      if (c == '"') {
+        const std::string_view data =
+            clean_ ? chunk.substr(clean_start_, index - clean_start_)
+                   : std::string_view(scratch_);
+        return CloseString(data);
+      }
+      if (c == '\\') {
+        BreakCleanSlice(chunk, index);
+        str_ = Str::kEscape;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (!clean_) scratch_ += c;
+      return Status::Ok();
+    case Str::kEscape:
+      switch (c) {
+        case '"': scratch_ += '"'; break;
+        case '\\': scratch_ += '\\'; break;
+        case '/': scratch_ += '/'; break;
+        case 'n': scratch_ += '\n'; break;
+        case 't': scratch_ += '\t'; break;
+        case 'r': scratch_ += '\r'; break;
+        case 'b': scratch_ += '\b'; break;
+        case 'f': scratch_ += '\f'; break;
+        case 'u':
+          str_ = Str::kHex;
+          hex_code_ = 0;
+          hex_count_ = 0;
+          return Status::Ok();
+        default:
+          return Fail("invalid escape character");
+      }
+      str_ = Str::kPlain;
+      return Status::Ok();
+    case Str::kHex: {
+      const int h = HexDigit(c);
+      if (h < 0) return Fail("invalid \\u escape");
+      hex_code_ = (hex_code_ << 4) | static_cast<unsigned>(h);
+      if (++hex_count_ < 4) return Status::Ok();
+      if (pending_high_ != 0) {
+        if (!IsLowSurrogate(hex_code_)) {
+          return Fail("invalid low surrogate in \\u escape");
+        }
+        AppendUtf8(CombineSurrogates(pending_high_, hex_code_), scratch_);
+        pending_high_ = 0;
+        str_ = Str::kPlain;
+        return Status::Ok();
+      }
+      if (IsLowSurrogate(hex_code_)) {
+        return Fail("lone low surrogate in \\u escape");
+      }
+      if (IsHighSurrogate(hex_code_)) {
+        pending_high_ = hex_code_;
+        str_ = Str::kPairSlash;
+        return Status::Ok();
+      }
+      AppendUtf8(hex_code_, scratch_);
+      str_ = Str::kPlain;
+      return Status::Ok();
+    }
+    case Str::kPairSlash:
+      if (c != '\\') return Fail("unpaired high surrogate in \\u escape");
+      str_ = Str::kPairU;
+      return Status::Ok();
+    case Str::kPairU:
+      if (c != 'u') return Fail("unpaired high surrogate in \\u escape");
+      str_ = Str::kHex;
+      hex_code_ = 0;
+      hex_count_ = 0;
+      return Status::Ok();
+  }
+  return Fail("invalid string state");
+}
+
+Status StreamParser::ConsumeChar(char c, std::size_t index) {
+  if (IsWhitespace(c)) return Status::Ok();
+  switch (state_) {
+    case State::kDone:
+      return Fail("trailing characters after JSON document");
+    case State::kObjectFirst:
+    case State::kObjectKey:
+      if (c == '}' && state_ == State::kObjectFirst) {
+        if (!handler_->OnEndObject(0)) return Cancel();
+        stack_.pop_back();
+        return OnValueDone();
+      }
+      if (c != '"') return Fail("expected object key");
+      lex_ = Lex::kString;
+      str_ = Str::kPlain;
+      string_is_key_ = true;
+      clean_ = true;
+      clean_start_ = index + 1;
+      scratch_.clear();
+      return Status::Ok();
+    case State::kObjectColon:
+      if (c != ':') return Fail("expected ':' after key");
+      state_ = State::kValue;
+      return Status::Ok();
+    case State::kObjectNext:
+      if (c == ',') {
+        state_ = State::kObjectKey;
+        return Status::Ok();
+      }
+      if (c == '}') {
+        const std::size_t count = stack_.back().count;
+        if (!handler_->OnEndObject(count)) return Cancel();
+        stack_.pop_back();
+        return OnValueDone();
+      }
+      return Fail("expected ',' or '}' in object");
+    case State::kArrayNext:
+      if (c == ',') {
+        state_ = State::kValue;
+        return Status::Ok();
+      }
+      if (c == ']') {
+        const std::size_t count = stack_.back().count;
+        if (!handler_->OnEndArray(count)) return Cancel();
+        stack_.pop_back();
+        return OnValueDone();
+      }
+      return Fail("expected ',' or ']' in array");
+    case State::kArrayFirst:
+      if (c == ']') {
+        if (!handler_->OnEndArray(0)) return Cancel();
+        stack_.pop_back();
+        return OnValueDone();
+      }
+      [[fallthrough]];
+    case State::kValue:
+      break;
+  }
+  // Value dispatch (State::kValue or a non-']' char in State::kArrayFirst).
+  // Depth semantics match the recursive parsers: a value may not *start*
+  // while more than kMaxParseDepth containers are open.
+  if (static_cast<int>(stack_.size()) > kMaxParseDepth) {
+    return Fail("nesting too deep");
+  }
+  switch (c) {
+    case '{':
+      if (!handler_->OnStartObject()) return Cancel();
+      stack_.push_back(Frame{true, 0});
+      state_ = State::kObjectFirst;
+      return Status::Ok();
+    case '[':
+      if (!handler_->OnStartArray()) return Cancel();
+      stack_.push_back(Frame{false, 0});
+      state_ = State::kArrayFirst;
+      return Status::Ok();
+    case '"':
+      lex_ = Lex::kString;
+      str_ = Str::kPlain;
+      string_is_key_ = false;
+      clean_ = true;
+      clean_start_ = index + 1;
+      scratch_.clear();
+      return Status::Ok();
+    case 't':
+    case 'f':
+    case 'n':
+      lex_ = Lex::kLiteral;
+      scratch_.clear();
+      scratch_ += c;
+      return Status::Ok();
+    default:
+      if (IsNumberChar(c)) {
+        lex_ = Lex::kNumber;
+        scratch_.clear();
+        scratch_ += c;
+        return Status::Ok();
+      }
+      return Fail("expected a value");
+  }
+}
+
+Status StreamParser::Feed(std::string_view chunk) {
+  if (!error_.ok()) return error_;
+  for (std::size_t i = 0; i < chunk.size(); ++i, ++offset_) {
+    const char c = chunk[i];
+    switch (lex_) {
+      case Lex::kString:
+        SWAP_RETURN_IF_ERROR(ConsumeStringChar(c, chunk, i));
+        break;
+      case Lex::kNumber:
+        if (IsNumberChar(c)) {
+          scratch_ += c;
+          break;
+        }
+        SWAP_RETURN_IF_ERROR(FinishNumber());
+        SWAP_RETURN_IF_ERROR(ConsumeChar(c, i));
+        break;
+      case Lex::kLiteral: {
+        scratch_ += c;
+        const std::string_view want = LiteralFor(scratch_[0]);
+        if (scratch_.size() > want.size() ||
+            want.substr(0, scratch_.size()) != scratch_) {
+          return Fail("invalid literal");
+        }
+        if (scratch_.size() == want.size()) {
+          lex_ = Lex::kNone;
+          bool keep = true;
+          if (want == "null") {
+            keep = handler_->OnNull();
+          } else {
+            keep = handler_->OnBool(want == "true");
+          }
+          if (!keep) return Cancel();
+          SWAP_RETURN_IF_ERROR(OnValueDone());
+        }
+        break;
+      }
+      case Lex::kNone:
+        SWAP_RETURN_IF_ERROR(ConsumeChar(c, i));
+        break;
+    }
+  }
+  // A clean (zero-copy) string cannot stay clean across chunk boundaries:
+  // bank the partial slice before the chunk's memory goes away.
+  if (lex_ == Lex::kString && clean_) {
+    scratch_.assign(chunk.data() + clean_start_,
+                    chunk.size() - clean_start_);
+    clean_ = false;
+  }
+  return Status::Ok();
+}
+
+Status StreamParser::Finish() {
+  if (!error_.ok()) return error_;
+  switch (lex_) {
+    case Lex::kNumber:
+      SWAP_RETURN_IF_ERROR(FinishNumber());
+      break;
+    case Lex::kLiteral:
+      return FinishLiteral();
+    case Lex::kString:
+      return Fail("unterminated string");
+    case Lex::kNone:
+      break;
+  }
+  if (state_ != State::kDone) return Fail("unexpected end of input");
+  return Status::Ok();
+}
+
+Status ParseSax(std::string_view text, SaxHandler& handler) {
+  StreamParser parser(handler);
+  SWAP_RETURN_IF_ERROR(parser.Feed(text));
+  return parser.Finish();
+}
+
+}  // namespace swapserve::json

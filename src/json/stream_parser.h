@@ -1,0 +1,132 @@
+// Incremental SAX-style JSON parser (DESIGN.md §16).
+//
+// StreamParser consumes a JSON document in arbitrary chunk boundaries —
+// Feed() as bytes arrive, Finish() at end of input — and reports structure
+// through SaxHandler callbacks instead of building a tree. Strings that sit
+// entirely inside one Feed() chunk and contain no escapes are delivered as
+// zero-copy slices of the caller's chunk; strings that span chunks or carry
+// escapes are assembled (and unescaped) into an internal scratch buffer
+// that is reused across strings and across documents, so a long-lived
+// parser stops allocating once its high-water marks are reached.
+//
+// Dialect is identical to the DOM parser and the in-situ Document (strict
+// RFC 8259 numbers, full surrogate-pair escapes, 256-level nesting cap) —
+// all three share text.h, and the conformance suite runs the same corpus
+// through each.
+//
+// A callback returning false cancels the parse: Feed/Finish return
+// kCancelled and the parser stays in the error state until Reset().
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace swapserve::json {
+
+// Event sink for StreamParser. Callbacks fire in document order; string
+// data passed to OnKey/OnString is only valid for the duration of the call.
+// Return false to cancel the parse.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual bool OnNull() = 0;
+  virtual bool OnBool(bool value) = 0;
+  // is_int marks tokens that decoded through the integer fast path; `i`
+  // carries the exact value for those (and is 0 otherwise).
+  virtual bool OnNumber(double d, bool is_int, std::int64_t i) = 0;
+  virtual bool OnString(std::string_view s) = 0;
+  virtual bool OnKey(std::string_view key) = 0;
+  virtual bool OnStartObject() = 0;
+  virtual bool OnEndObject(std::size_t member_count) = 0;
+  virtual bool OnStartArray() = 0;
+  virtual bool OnEndArray(std::size_t element_count) = 0;
+};
+
+class StreamParser {
+ public:
+  explicit StreamParser(SaxHandler& handler) : handler_(&handler) {}
+
+  StreamParser(const StreamParser&) = delete;
+  StreamParser& operator=(const StreamParser&) = delete;
+
+  // Consume the next chunk. Errors are sticky: once a chunk fails, every
+  // later Feed/Finish returns the same status until Reset().
+  [[nodiscard]] Status Feed(std::string_view chunk);
+
+  // Declare end of input. Terminates a trailing number token and verifies
+  // the document is complete.
+  [[nodiscard]] Status Finish();
+
+  // Return to the fresh state (keeps scratch capacity for reuse).
+  void Reset();
+
+ private:
+  // Structural (pushdown) state between tokens.
+  enum class State : std::uint8_t {
+    kValue,        // expecting a value
+    kObjectFirst,  // after '{': key or '}'
+    kObjectKey,    // after ',' in an object: key required
+    kObjectColon,  // after a key: ':'
+    kObjectNext,   // after a member value: ',' or '}'
+    kArrayFirst,   // after '[': value or ']'
+    kArrayNext,    // after an element: ',' or ']'
+    kDone,         // top-level value complete
+  };
+
+  // Lexical state when a token spans the read cursor.
+  enum class Lex : std::uint8_t { kNone, kString, kLiteral, kNumber };
+
+  // Sub-state inside a string token.
+  enum class Str : std::uint8_t {
+    kPlain,
+    kEscape,     // just consumed '\'
+    kHex,        // consuming 4 hex digits of \uXXXX
+    kPairSlash,  // decoded a high surrogate; expecting '\'
+    kPairU,      // ... expecting 'u'
+  };
+
+  struct Frame {
+    bool object = false;
+    std::size_t count = 0;
+  };
+
+  Status Fail(const std::string& what);
+  Status Cancel();
+  [[nodiscard]] Status ConsumeChar(char c, std::size_t index);
+  [[nodiscard]] Status ConsumeStringChar(char c, std::string_view chunk,
+                                         std::size_t index);
+  [[nodiscard]] Status CloseString(std::string_view data);
+  [[nodiscard]] Status FinishNumber();
+  [[nodiscard]] Status FinishLiteral();
+  [[nodiscard]] Status OnValueDone();
+  void BreakCleanSlice(std::string_view chunk, std::size_t index);
+
+  SaxHandler* handler_;
+  Status error_;  // sticky
+  State state_ = State::kValue;
+  Lex lex_ = Lex::kNone;
+  std::vector<Frame> stack_;
+  std::uint64_t offset_ = 0;  // absolute offset across chunks, for errors
+
+  // String token state.
+  Str str_ = Str::kPlain;
+  bool string_is_key_ = false;
+  bool clean_ = false;           // current string is a borrowable slice
+  std::size_t clean_start_ = 0;  // slice start within the current chunk
+  unsigned hex_code_ = 0;
+  int hex_count_ = 0;
+  unsigned pending_high_ = 0;  // decoded high surrogate awaiting its pair
+
+  std::string scratch_;  // assembled string / number / literal token
+};
+
+// One-shot convenience: feed the whole text and finish.
+[[nodiscard]] Status ParseSax(std::string_view text, SaxHandler& handler);
+
+}  // namespace swapserve::json

@@ -1,0 +1,200 @@
+// SLO-aware admission control tests (DESIGN.md §16): estimator math in
+// isolation, then the controller integrated into the assembled stack —
+// sheds under backlog, default-off behavioral identity, metrics/counter
+// plumbing, and the "request.admit" chaos hook.
+
+#include "core/admission.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/swap_serve.h"
+#include "fixture.h"
+
+namespace swapserve::core {
+namespace {
+
+using testing::TestBed;
+
+AdmissionConfig SmallConfig() {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.default_budget_s = 2.0;
+  cfg.class_budget_s["gold"] = 10.0;
+  cfg.class_budget_s["batch"] = 0.5;
+  cfg.ewma_alpha = 0.5;
+  cfg.initial_service_s = 1.0;
+  cfg.swap_penalty_s = 0.0;
+  return cfg;
+}
+
+TEST(AdmissionControllerTest, BudgetLookupFallsBackToDefault) {
+  AdmissionController ctl(SmallConfig());
+  EXPECT_DOUBLE_EQ(ctl.BudgetFor("gold"), 10.0);
+  EXPECT_DOUBLE_EQ(ctl.BudgetFor("batch"), 0.5);
+  EXPECT_DOUBLE_EQ(ctl.BudgetFor(""), 2.0);
+  EXPECT_DOUBLE_EQ(ctl.BudgetFor("unknown"), 2.0);
+}
+
+TEST(AdmissionControllerTest, EwmaStartsAtPriorAndConverges) {
+  AdmissionController ctl(SmallConfig());
+  EXPECT_DOUBLE_EQ(ctl.ServiceEstimate("m"), 1.0);  // the prior
+  ctl.ObserveService("m", 3.0);
+  // alpha=0.5: 0.5*3 + 0.5*1 = 2.0
+  EXPECT_DOUBLE_EQ(ctl.ServiceEstimate("m"), 2.0);
+  ctl.ObserveService("m", 3.0);
+  EXPECT_DOUBLE_EQ(ctl.ServiceEstimate("m"), 2.5);
+  // Per-model state: another model still sees the prior.
+  EXPECT_DOUBLE_EQ(ctl.ServiceEstimate("other"), 1.0);
+}
+
+TEST(AdmissionControllerTest, TenantTalliesTrackOutcomes) {
+  AdmissionController ctl(SmallConfig());
+  ctl.RecordOutcome("alice", true);
+  ctl.RecordOutcome("alice", true);
+  ctl.RecordOutcome("alice", false);
+  ctl.RecordOutcome("bob", false);
+  EXPECT_EQ(ctl.tenant_stats().at("alice").admitted, 2u);
+  EXPECT_EQ(ctl.tenant_stats().at("alice").shed, 1u);
+  EXPECT_EQ(ctl.tenant_stats().at("bob").admitted, 0u);
+  EXPECT_EQ(ctl.tenant_stats().at("bob").shed, 1u);
+}
+
+// --- Integrated: the controller in front of the assembled stack ----------
+
+Config AdmissionTestConfig(TestBed& bed, double default_budget_s,
+                           double initial_service_s) {
+  Config cfg = bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}});
+  cfg.admission.enabled = true;
+  cfg.admission.default_budget_s = default_budget_s;
+  cfg.admission.initial_service_s = initial_service_s;
+  cfg.admission.class_budget_s["gold"] = 1000.0;
+  return cfg;
+}
+
+TEST(AdmissionIntegrationTest, BacklogShedsBeyondTheBudget) {
+  TestBed bed;
+  // Budget 2s, prior 1s/request: the estimator admits while demand <= 2
+  // and sheds everything past it.
+  Config cfg = AdmissionTestConfig(bed, /*default_budget_s=*/2.0,
+                                   /*initial_service_s=*/1.0);
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  int admitted = 0;
+  int shed = 0;
+  std::vector<ResponseChannelPtr> channels;  // keep accepted requests queued
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    for (int i = 0; i < 10; ++i) {
+      InferenceRequest request;
+      request.model = "llama-3.2-1b-fp16";
+      request.prompt_tokens = 16;
+      request.max_tokens = 16;
+      request.tenant = "tenant-a";
+      Result<ResponseChannelPtr> r = serve.handler().Accept(std::move(request));
+      if (r.ok()) {
+        ++admitted;
+        channels.push_back(*r);
+      } else {
+        EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+        ++shed;
+      }
+    }
+    serve.Shutdown();
+    co_return;
+  });
+  // Demand grows as accepted requests stack up (the worker can't drain them
+  // synchronously); the swap penalty is 0, so the cutoff is demand > 2.
+  EXPECT_GT(admitted, 0);
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(admitted + shed, 10);
+  EXPECT_EQ(serve.metrics().TotalShed(), static_cast<std::uint64_t>(shed));
+  ASSERT_NE(serve.admission(), nullptr);
+  EXPECT_EQ(serve.admission()->tenant_stats().at("tenant-a").shed,
+            static_cast<std::uint64_t>(shed));
+}
+
+TEST(AdmissionIntegrationTest, GenerousClassBudgetAdmitsWhatDefaultSheds) {
+  TestBed bed;
+  Config cfg = AdmissionTestConfig(bed, 2.0, 1.0);
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  int shed_gold = 0;
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    std::vector<ResponseChannelPtr> channels;
+    for (int i = 0; i < 10; ++i) {
+      InferenceRequest request;
+      request.model = "llama-3.2-1b-fp16";
+      request.prompt_tokens = 16;
+      request.max_tokens = 16;
+      request.slo_class = "gold";  // 1000s budget: nothing sheds
+      Result<ResponseChannelPtr> r = serve.handler().Accept(std::move(request));
+      if (!r.ok()) ++shed_gold;
+      else channels.push_back(*r);
+    }
+    serve.Shutdown();
+    co_return;
+  });
+  EXPECT_EQ(shed_gold, 0);
+  EXPECT_EQ(serve.metrics().TotalShed(), 0u);
+}
+
+TEST(AdmissionIntegrationTest, SwapPenaltyShedsAgainstColdBackends) {
+  TestBed bed;
+  Config cfg = AdmissionTestConfig(bed, 2.0, 1.0);
+  // After Initialize() the backend is swapped out; a penalty above the
+  // budget sheds even the very first request.
+  cfg.admission.swap_penalty_s = 5.0;
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  Status first = Status::Ok();
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    InferenceRequest request;
+    request.model = "llama-3.2-1b-fp16";
+    request.prompt_tokens = 16;
+    request.max_tokens = 16;
+    Result<ResponseChannelPtr> r = serve.handler().Accept(std::move(request));
+    first = r.status();
+    serve.Shutdown();
+    co_return;
+  });
+  EXPECT_EQ(first.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(first.message().find("admission"), std::string::npos) << first;
+}
+
+TEST(AdmissionIntegrationTest, DisabledByDefaultAndNeverConstructed) {
+  TestBed bed;
+  Config cfg = bed.MakeConfig({{"llama-3.2-1b-fp16", "ollama"}});
+  ASSERT_FALSE(cfg.admission.enabled);
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  EXPECT_EQ(serve.admission(), nullptr);
+  ChatResult result;
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    result = co_await serve.ChatAndWait("llama-3.2-1b-fp16", 128, 64);
+    serve.Shutdown();
+  });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(serve.metrics().TotalShed(), 0u);
+}
+
+TEST(AdmissionIntegrationTest, ServiceObservationsSharpenTheEstimate) {
+  TestBed bed;
+  // Huge budget: everything admits, but completions should still feed the
+  // EWMA away from the prior.
+  Config cfg = AdmissionTestConfig(bed, 1e9, 1.0);
+  SwapServe serve(bed.sim, cfg, bed.catalog, bed.hardware());
+  bed.RunTask([&]() -> sim::Task<> {
+    EXPECT_TRUE((co_await serve.Initialize()).ok());
+    ChatResult r = co_await serve.ChatAndWait("llama-3.2-1b-fp16", 128, 64);
+    EXPECT_TRUE(r.ok) << r.error;
+    serve.Shutdown();
+  });
+  ASSERT_NE(serve.admission(), nullptr);
+  // One completion observed: the estimate moved off the 1.0s prior.
+  EXPECT_NE(serve.admission()->ServiceEstimate("llama-3.2-1b-fp16"), 1.0);
+}
+
+}  // namespace
+}  // namespace swapserve::core

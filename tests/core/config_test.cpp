@@ -272,6 +272,85 @@ TEST_F(ValidateTest, ChecksModelPlacementAgainstHomeNode) {
   EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
 }
 
+TEST(ConfigTest, ParsesStreamingAndAdmissionSections) {
+  auto cfg = Config::FromJsonText(R"({
+    "global": {"stream_tokens": true, "stream_chunk_tokens": 8},
+    "admission": {
+      "enabled": true,
+      "default_budget_s": 3.5,
+      "class_budget_s": {"gold": 30, "batch": 0.25},
+      "ewma_alpha": 0.4,
+      "initial_service_s": 0.75,
+      "swap_penalty_s": 2.0
+    },
+    "models": [{"model": "llama-3.2-1b-fp16"}]
+  })");
+  ASSERT_TRUE(cfg.ok()) << cfg.status();
+  EXPECT_TRUE(cfg->global.stream_tokens);
+  EXPECT_EQ(cfg->global.stream_chunk_tokens, 8);
+  EXPECT_TRUE(cfg->admission.enabled);
+  EXPECT_DOUBLE_EQ(cfg->admission.default_budget_s, 3.5);
+  EXPECT_DOUBLE_EQ(cfg->admission.class_budget_s.at("gold"), 30.0);
+  EXPECT_DOUBLE_EQ(cfg->admission.class_budget_s.at("batch"), 0.25);
+  EXPECT_DOUBLE_EQ(cfg->admission.ewma_alpha, 0.4);
+  EXPECT_DOUBLE_EQ(cfg->admission.initial_service_s, 0.75);
+  EXPECT_DOUBLE_EQ(cfg->admission.swap_penalty_s, 2.0);
+}
+
+TEST(ConfigTest, StreamingAndAdmissionDefaultOff) {
+  auto cfg = Config::FromJsonText(
+      R"({"models": [{"model": "llama-3.2-1b-fp16"}]})");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg->global.stream_tokens);
+  EXPECT_EQ(cfg->global.stream_chunk_tokens, 16);
+  EXPECT_FALSE(cfg->admission.enabled);
+  EXPECT_TRUE(cfg->admission.class_budget_s.empty());
+}
+
+TEST(ConfigTest, AdmissionParseAndValidateErrors) {
+  // Non-number class budget is a parse error.
+  EXPECT_FALSE(Config::FromJsonText(R"({
+    "admission": {"class_budget_s": {"gold": "fast"}},
+    "models": [{"model": "llama-3.2-1b-fp16"}]
+  })").ok());
+
+  model::ModelCatalog catalog = model::ModelCatalog::Default();
+  Config cfg;
+  ModelEntry m;
+  m.model_id = "llama-3.2-1b-fp16";
+  m.engine = "ollama";
+  cfg.models.push_back(m);
+  ASSERT_TRUE(cfg.Validate(catalog, 1).ok()) << cfg.Validate(catalog, 1);
+
+  cfg.global.stream_chunk_tokens = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.global.stream_chunk_tokens = 16;
+
+  cfg.admission.default_budget_s = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.admission.default_budget_s = 2.0;
+
+  cfg.admission.class_budget_s["gold"] = -1;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.admission.class_budget_s.clear();
+
+  cfg.admission.ewma_alpha = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.admission.ewma_alpha = 1.5;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.admission.ewma_alpha = 0.2;
+
+  cfg.admission.initial_service_s = 0;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.admission.initial_service_s = 0.5;
+
+  cfg.admission.swap_penalty_s = -0.1;
+  EXPECT_FALSE(cfg.Validate(catalog, 1).ok());
+  cfg.admission.swap_penalty_s = 0;
+
+  EXPECT_TRUE(cfg.Validate(catalog, 1).ok());
+}
+
 TEST(MetricsTest, Aggregations) {
   Metrics m;
   m.ForModel("a").completed = 3;

@@ -1,0 +1,182 @@
+// JSON conformance battery (DESIGN.md §16): runs the checked-in corpus in
+// tests/json/data/ through all three parsers — recursive DOM (json::Parse),
+// in-situ Document::ParseInSitu, and the incremental SAX StreamParser — and
+// pins that they implement one dialect:
+//   y_*.json  every parser accepts; DOM and in-situ trees are equal and
+//             serialize byte-identically
+//   n_*.json  every parser rejects
+//   i_*.json  implementation-defined per RFC 8259; all parsers must agree
+// SAX verdicts are additionally checked under adversarial chunking (whole
+// buffer vs one byte per Feed), which must never change the outcome.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/document.h"
+#include "json/json.h"
+#include "json/stream_parser.h"
+#include "sax_recorder.h"
+
+namespace swapserve::json {
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::filesystem::path> CorpusFiles(const std::string& prefix) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SWAPSERVE_JSON_DATA_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool DomAccepts(const std::string& text) { return Parse(text).ok(); }
+
+bool InSituAccepts(const std::string& text) {
+  std::string buffer = text;
+  Document doc;
+  return doc.ParseInSitu(buffer).ok();
+}
+
+bool SaxAccepts(const std::string& text) {
+  testing::EventRecorder recorder;
+  return ParseSax(text, recorder).ok();
+}
+
+bool SaxAcceptsBytewise(const std::string& text) {
+  testing::EventRecorder recorder;
+  StreamParser parser(recorder);
+  for (char c : text) {
+    if (!parser.Feed(std::string_view(&c, 1)).ok()) return false;
+  }
+  return parser.Finish().ok();
+}
+
+TEST(JsonConformanceTest, CorpusIsPresent) {
+  EXPECT_GE(CorpusFiles("y_").size(), 30u);
+  EXPECT_GE(CorpusFiles("n_").size(), 30u);
+  EXPECT_GE(CorpusFiles("i_").size(), 3u);
+}
+
+TEST(JsonConformanceTest, AcceptCases) {
+  for (const auto& path : CorpusFiles("y_")) {
+    const std::string text = ReadFile(path);
+    const std::string name = path.filename().string();
+    EXPECT_TRUE(DomAccepts(text)) << name;
+    EXPECT_TRUE(InSituAccepts(text)) << name;
+    EXPECT_TRUE(SaxAccepts(text)) << name;
+    EXPECT_TRUE(SaxAcceptsBytewise(text)) << name;
+  }
+}
+
+TEST(JsonConformanceTest, RejectCases) {
+  for (const auto& path : CorpusFiles("n_")) {
+    const std::string text = ReadFile(path);
+    const std::string name = path.filename().string();
+    EXPECT_FALSE(DomAccepts(text)) << name;
+    EXPECT_FALSE(InSituAccepts(text)) << name;
+    EXPECT_FALSE(SaxAccepts(text)) << name;
+    EXPECT_FALSE(SaxAcceptsBytewise(text)) << name;
+  }
+}
+
+TEST(JsonConformanceTest, ImplementationDefinedCasesAgree) {
+  for (const auto& path : CorpusFiles("i_")) {
+    const std::string text = ReadFile(path);
+    const std::string name = path.filename().string();
+    const bool dom = DomAccepts(text);
+    EXPECT_EQ(InSituAccepts(text), dom) << name;
+    EXPECT_EQ(SaxAccepts(text), dom) << name;
+    EXPECT_EQ(SaxAcceptsBytewise(text), dom) << name;
+  }
+}
+
+TEST(JsonConformanceTest, DomAndInSituTreesMatchOnAcceptCases) {
+  for (const auto& path : CorpusFiles("y_")) {
+    const std::string text = ReadFile(path);
+    const std::string name = path.filename().string();
+    Result<Value> dom = Parse(text);
+    ASSERT_TRUE(dom.ok()) << name;
+
+    std::string buffer = text;
+    Document doc;
+    ASSERT_TRUE(doc.ParseInSitu(buffer).ok()) << name;
+
+    // Same tree through conversion, and byte-identical serialization both
+    // via the converted DOM and via Document's own key-sorted Dump.
+    EXPECT_TRUE(doc.ToValue() == *dom) << name;
+    EXPECT_EQ(doc.ToValue().Dump(), dom->Dump()) << name;
+    EXPECT_EQ(doc.Dump(), dom->Dump()) << name;
+  }
+}
+
+TEST(JsonConformanceTest, SaxTreeMatchesDomOnAcceptCases) {
+  for (const auto& path : CorpusFiles("y_")) {
+    const std::string text = ReadFile(path);
+    const std::string name = path.filename().string();
+    Result<Value> dom = Parse(text);
+    ASSERT_TRUE(dom.ok()) << name;
+
+    testing::SaxTreeBuilder builder;
+    ASSERT_TRUE(ParseSax(text, builder).ok()) << name;
+    EXPECT_TRUE(builder.root() == *dom) << name;
+  }
+}
+
+TEST(JsonConformanceTest, SaxEventsAreChunkingInvariant) {
+  for (const auto& path : CorpusFiles("y_")) {
+    const std::string text = ReadFile(path);
+    const std::string name = path.filename().string();
+
+    testing::EventRecorder whole;
+    ASSERT_TRUE(ParseSax(text, whole).ok()) << name;
+
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{3}}) {
+      testing::EventRecorder split;
+      StreamParser parser(split);
+      for (std::size_t i = 0; i < text.size(); i += chunk) {
+        ASSERT_TRUE(parser.Feed(std::string_view(text).substr(i, chunk)).ok())
+            << name;
+      }
+      ASSERT_TRUE(parser.Finish().ok()) << name;
+      EXPECT_EQ(split.events(), whole.events())
+          << name << " with chunk size " << chunk;
+    }
+  }
+}
+
+// Depth margins beyond what the corpus files pin: the limit is "a value may
+// not start with more than 256 containers open", identically in all three.
+TEST(JsonConformanceTest, DepthLimitAgreesAcrossParsers) {
+  const auto nested = [](int n) {
+    return std::string(static_cast<std::size_t>(n), '[') +
+           std::string(static_cast<std::size_t>(n), ']');
+  };
+  for (int depth : {255, 256, 257, 258, 300}) {
+    const std::string text = nested(depth);
+    const bool dom = DomAccepts(text);
+    EXPECT_EQ(dom, depth <= 257) << depth;
+    EXPECT_EQ(InSituAccepts(text), dom) << depth;
+    EXPECT_EQ(SaxAccepts(text), dom) << depth;
+  }
+}
+
+}  // namespace
+}  // namespace swapserve::json

@@ -1,0 +1,118 @@
+// Test helper: records SAX events as strings, so tests can compare event
+// streams across chunkings and against the DOM/in-situ parsers.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "json/stream_parser.h"
+
+namespace swapserve::json::testing {
+
+class EventRecorder : public SaxHandler {
+ public:
+  bool OnNull() override { return Add("null"); }
+  bool OnBool(bool value) override {
+    return Add(value ? "bool:true" : "bool:false");
+  }
+  bool OnNumber(double d, bool is_int, std::int64_t i) override {
+    char buf[64];
+    if (is_int) {
+      std::snprintf(buf, sizeof(buf), "int:%lld", static_cast<long long>(i));
+    } else {
+      std::snprintf(buf, sizeof(buf), "num:%.17g", d);
+    }
+    return Add(buf);
+  }
+  bool OnString(std::string_view s) override {
+    return Add("str:" + std::string(s));
+  }
+  bool OnKey(std::string_view key) override {
+    return Add("key:" + std::string(key));
+  }
+  bool OnStartObject() override { return Add("{"); }
+  bool OnEndObject(std::size_t member_count) override {
+    return Add("}" + std::to_string(member_count));
+  }
+  bool OnStartArray() override { return Add("["); }
+  bool OnEndArray(std::size_t element_count) override {
+    return Add("]" + std::to_string(element_count));
+  }
+
+  const std::vector<std::string>& events() const { return events_; }
+
+  // Cancel the parse after `n` events (for cancellation tests; -1 = never).
+  void CancelAfter(int n) { cancel_after_ = n; }
+
+ private:
+  bool Add(std::string e) {
+    events_.push_back(std::move(e));
+    return cancel_after_ < 0 ||
+           events_.size() < static_cast<std::size_t>(cancel_after_);
+  }
+
+  std::vector<std::string> events_;
+  int cancel_after_ = -1;
+};
+
+// Builds a DOM Value from the SAX event stream. Semantics match the DOM
+// parser: object members land in a std::map (sorted), duplicate keys are
+// last-wins — so ParseSax + SaxTreeBuilder must equal Parse() exactly.
+class SaxTreeBuilder : public SaxHandler {
+ public:
+  bool OnNull() override { return Place(Value(nullptr)); }
+  bool OnBool(bool value) override { return Place(Value(value)); }
+  bool OnNumber(double d, bool, std::int64_t) override {
+    return Place(Value(d));
+  }
+  bool OnString(std::string_view s) override {
+    return Place(Value(std::string(s)));
+  }
+  bool OnKey(std::string_view key) override {
+    pending_key_.assign(key);
+    return true;
+  }
+  bool OnStartObject() override {
+    keys_.push_back(pending_key_);
+    stack_.push_back(Value::MakeObject());
+    return true;
+  }
+  bool OnEndObject(std::size_t) override { return Pop(); }
+  bool OnStartArray() override {
+    keys_.push_back(pending_key_);
+    stack_.push_back(Value::MakeArray());
+    return true;
+  }
+  bool OnEndArray(std::size_t) override { return Pop(); }
+
+  const Value& root() const { return root_; }
+
+ private:
+  bool Place(Value v) {
+    if (stack_.empty()) {
+      root_ = std::move(v);
+    } else if (stack_.back().is_array()) {
+      stack_.back().PushBack(std::move(v));
+    } else {
+      stack_.back().AsObject().insert_or_assign(pending_key_, std::move(v));
+    }
+    return true;
+  }
+  bool Pop() {
+    Value done = std::move(stack_.back());
+    stack_.pop_back();
+    pending_key_ = keys_.back();
+    keys_.pop_back();
+    return Place(std::move(done));
+  }
+
+  Value root_;
+  std::string pending_key_;
+  std::vector<Value> stack_;
+  std::vector<std::string> keys_;  // saved pending key per open container
+};
+
+}  // namespace swapserve::json::testing

@@ -1,0 +1,181 @@
+// Unit tests for the incremental SAX parser (DESIGN.md §16): event
+// sequences, chunk-boundary handling for every token kind, cancellation,
+// sticky errors, and Reset/reuse. Dialect agreement with the other parsers
+// lives in conformance_test.cpp.
+
+#include "json/stream_parser.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sax_recorder.h"
+
+namespace swapserve::json {
+namespace {
+
+using testing::EventRecorder;
+
+std::vector<std::string> Events(const std::string& text) {
+  EventRecorder recorder;
+  EXPECT_TRUE(ParseSax(text, recorder).ok()) << text;
+  return recorder.events();
+}
+
+TEST(StreamParserTest, EventSequence) {
+  EXPECT_EQ(Events(R"({"a":[1,true,null],"b":"x"})"),
+            (std::vector<std::string>{"{", "key:a", "[", "int:1", "bool:true",
+                                      "null", "]3", "key:b", "str:x", "}2"}));
+}
+
+TEST(StreamParserTest, NumberKinds) {
+  EXPECT_EQ(Events("[0,-7,3.5,1e3]"),
+            (std::vector<std::string>{"[", "int:0", "int:-7", "num:3.5",
+                                      "num:1000", "]4"}));
+}
+
+TEST(StreamParserTest, TrailingRootNumberNeedsFinish) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_TRUE(parser.Feed("12").ok());
+  ASSERT_TRUE(parser.Feed("3").ok());
+  // The number token can always be extended; only Finish terminates it.
+  EXPECT_TRUE(recorder.events().empty());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(recorder.events(), (std::vector<std::string>{"int:123"}));
+}
+
+TEST(StreamParserTest, StringSplitAcrossChunks) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_TRUE(parser.Feed("\"hel").ok());
+  ASSERT_TRUE(parser.Feed("lo\"").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(recorder.events(), (std::vector<std::string>{"str:hello"}));
+}
+
+TEST(StreamParserTest, EscapeSplitAcrossChunks) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_TRUE(parser.Feed("\"a\\").ok());
+  ASSERT_TRUE(parser.Feed("n b\\u20a").ok());
+  ASSERT_TRUE(parser.Feed("c\"").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(recorder.events(),
+            (std::vector<std::string>{"str:a\n b\xE2\x82\xAC"}));
+}
+
+TEST(StreamParserTest, SurrogatePairSplitAcrossChunks) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_TRUE(parser.Feed("\"\\ud83d").ok());
+  ASSERT_TRUE(parser.Feed("\\ude00\"").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(recorder.events(),
+            (std::vector<std::string>{"str:\xF0\x9F\x98\x80"}));
+}
+
+TEST(StreamParserTest, LiteralSplitAcrossChunks) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_TRUE(parser.Feed("[tr").ok());
+  ASSERT_TRUE(parser.Feed("ue,fal").ok());
+  ASSERT_TRUE(parser.Feed("se]").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(recorder.events(),
+            (std::vector<std::string>{"[", "bool:true", "bool:false", "]2"}));
+}
+
+TEST(StreamParserTest, BadLiteralFailsEagerly) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  // "tru" + "x": the wrong byte is rejected as soon as it arrives.
+  ASSERT_TRUE(parser.Feed("tru").ok());
+  EXPECT_FALSE(parser.Feed("x").ok());
+}
+
+TEST(StreamParserTest, ErrorsAreSticky) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  const Status first = parser.Feed("{]");
+  ASSERT_FALSE(first.ok());
+  const Status second = parser.Feed("{}");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.message(), first.message());
+  EXPECT_FALSE(parser.Finish().ok());
+}
+
+TEST(StreamParserTest, ResetRecoversAfterError) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_FALSE(parser.Feed("[,").ok());
+  parser.Reset();
+  ASSERT_TRUE(parser.Feed("[1]").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  // The first "[" fired before the aborted parse hit the error; Reset
+  // restarts the parser, not the handler's accumulated state.
+  EXPECT_EQ(recorder.events(),
+            (std::vector<std::string>{"[", "[", "int:1", "]1"}));
+}
+
+TEST(StreamParserTest, ResetAllowsDocumentReuse) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_TRUE(parser.Feed("{}").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  parser.Reset();
+  ASSERT_TRUE(parser.Feed("[]").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(recorder.events(),
+            (std::vector<std::string>{"{", "}0", "[", "]0"}));
+}
+
+TEST(StreamParserTest, CancellationStopsTheParse) {
+  EventRecorder recorder;
+  recorder.CancelAfter(3);
+  StreamParser parser(recorder);
+  const Status status = parser.Feed(R"([1,2,3,4])");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(recorder.events().size(), 3u);
+  // Cancellation is sticky like any other terminal state.
+  EXPECT_FALSE(parser.Feed("1").ok());
+}
+
+TEST(StreamParserTest, TruncatedInputFailsAtFinish) {
+  for (const std::string& text :
+       {std::string("{"), std::string("[1,"), std::string("\"abc"),
+        std::string("tru"), std::string("{\"a\":"), std::string("1e")}) {
+    EventRecorder recorder;
+    StreamParser parser(recorder);
+    if (parser.Feed(text).ok()) {
+      EXPECT_FALSE(parser.Finish().ok()) << text;
+    }
+  }
+}
+
+TEST(StreamParserTest, EmptyChunksAreNoOps) {
+  EventRecorder recorder;
+  StreamParser parser(recorder);
+  ASSERT_TRUE(parser.Feed("").ok());
+  ASSERT_TRUE(parser.Feed("[1").ok());
+  ASSERT_TRUE(parser.Feed("").ok());
+  ASSERT_TRUE(parser.Feed("]").ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(recorder.events(), (std::vector<std::string>{"[", "int:1", "]1"}));
+}
+
+TEST(StreamParserTest, KeysAreDistinctFromStrings) {
+  EXPECT_EQ(Events(R"({"k":"v"})"),
+            (std::vector<std::string>{"{", "key:k", "str:v", "}1"}));
+}
+
+TEST(StreamParserTest, ContainerCountsAreReported) {
+  EXPECT_EQ(Events(R"({"a":1,"b":2,"c":{"d":[1,2,3]}})"),
+            (std::vector<std::string>{"{", "key:a", "int:1", "key:b", "int:2",
+                                      "key:c", "{", "key:d", "[", "int:1",
+                                      "int:2", "int:3", "]3", "}1", "}3"}));
+}
+
+}  // namespace
+}  // namespace swapserve::json
